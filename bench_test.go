@@ -1,0 +1,207 @@
+package pbqprl_test
+
+// Benchmark harness: one testing.B benchmark per paper table/figure
+// (macro benchmarks, DESIGN.md experiments E1–E9) plus micro benchmarks
+// of the performance-critical kernels. Macro benchmarks train their
+// networks on first use and cache them on disk, so the first -bench run
+// pays a few minutes of training.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl"
+	"pbqprl/internal/ate"
+	"pbqprl/internal/experiments"
+	"pbqprl/internal/game"
+	"pbqprl/internal/llvmsuite"
+	"pbqprl/internal/mcts"
+	"pbqprl/internal/perfmodel"
+	"pbqprl/internal/regalloc"
+	"pbqprl/internal/solve/scholz"
+)
+
+// --- Macro benchmarks: one per table/figure ---
+
+// BenchmarkFig6 regenerates Figure 6 (E1): nodes generated per ATE
+// program for the four solver variants at k_infer 25 and 50.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(nil)
+		if len(rows) != 20 {
+			b.Fatalf("fig6 rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkATESuccess regenerates the Section V-B success table (E2).
+func BenchmarkATESuccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ATESuccess(nil)
+		if len(rows) != 3 {
+			b.Fatalf("ate-k rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkSearchSpace regenerates the liberty-vs-Deep-RL search-space
+// comparison (E3) and the baseline failure table (E9).
+func BenchmarkSearchSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SearchSpace(nil)
+		if len(rows) != 10 {
+			b.Fatalf("searchspace rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkDeadEndAblation regenerates the dead-end MCTS ablation (E4).
+func BenchmarkDeadEndAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DeadEndAblation(nil)
+		if len(rows) != 10 {
+			b.Fatalf("deadend rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkKTradeoff regenerates the k_train/k_infer trade-off (E5).
+func BenchmarkKTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.KTradeoff(nil)
+		if len(rows) != 2 {
+			b.Fatalf("ktradeoff rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkLLVMCostSum regenerates the Section V-C cost-sum comparison
+// (E6) over the 24 benchmark programs.
+func BenchmarkLLVMCostSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CostSums(nil)
+		if len(rows) != 24 {
+			b.Fatalf("llvm-cost rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkLLVMSpeedup regenerates the Section V-C speedup numbers (E7).
+func BenchmarkLLVMSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Speedups(nil)
+		if len(rows) != 4 {
+			b.Fatalf("llvm-speedup rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Micro benchmarks: the kernels the solvers spend time in ---
+
+func fig2() *pbqprl.Graph {
+	g := pbqprl.NewGraph(3, 2)
+	g.SetVertexCost(0, pbqprl.Vector{5, 2})
+	g.SetVertexCost(1, pbqprl.Vector{5, 0})
+	g.SetVertexCost(2, pbqprl.Vector{0, 0})
+	return g
+}
+
+// BenchmarkGraphTotalCost measures Equation 1 evaluation (E8's kernel).
+func BenchmarkGraphTotalCost(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := pbqprl.ErdosRenyi(rng, pbqprl.ErdosRenyiConfig{N: 100, M: 13, PEdge: 0.1, PInf: 0.05})
+	sel := make(pbqprl.Selection, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TotalCost(sel)
+	}
+}
+
+// BenchmarkScholzSolve measures the reduction solver on a realistic
+// compiler-sized problem.
+func BenchmarkScholzSolve(b *testing.B) {
+	bench := llvmsuite.Generate("Oscar")
+	in := regalloc.NewInput(bench.Prog.Funcs[0], regalloc.DefaultTarget(), bench.Allowed[0])
+	g := regalloc.BuildPBQP(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := (scholz.Solver{}).Solve(g); !res.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkLibertySolve measures the enumeration solver on the smallest
+// ATE program.
+func BenchmarkLibertySolve(b *testing.B) {
+	g := ate.Suite()[0].Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pbqprl.Liberty(10_000_000).Solve(g)
+	}
+}
+
+// BenchmarkMCTSSimulate measures MCTS simulation throughput with the
+// uniform evaluator (pure search cost, no network).
+func BenchmarkMCTSSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, _ := pbqprl.ZeroInf(rng, pbqprl.ZeroInfConfig{
+		N: 40, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.3,
+	})
+	st := game.New(g, game.MakeOrder(g, game.OrderDecLiberty, nil))
+	tree := mcts.New(mcts.Uniform{}, 13, mcts.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Run(st, 1)
+	}
+}
+
+// BenchmarkNetEvaluate measures one network evaluation (the roll-out
+// cost that dominates Deep-RL inference).
+func BenchmarkNetEvaluate(b *testing.B) {
+	n := pbqprl.NewNet(pbqprl.NetConfig{M: 13, GCNLayers: 2, Hidden: 32, Blocks: 1, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	g, _ := pbqprl.ZeroInf(rng, pbqprl.ZeroInfConfig{
+		N: 40, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.3,
+	})
+	st := game.New(g, game.MakeOrder(g, game.OrderDecLiberty, nil))
+	view := st.View()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = n.Evaluate(view)
+	}
+}
+
+// BenchmarkGamePlayUndo measures the do/undo transition kernel.
+func BenchmarkGamePlayUndo(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := pbqprl.ZeroInf(rng, pbqprl.ZeroInfConfig{
+		N: 60, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.3,
+	})
+	st := game.New(g, game.MakeOrder(g, game.OrderDecLiberty, nil))
+	a := -1
+	for c := 0; c < st.M(); c++ {
+		if st.Legal(c) {
+			a = c
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Play(a)
+		st.Undo()
+	}
+}
+
+// BenchmarkPerfModel measures the cycle estimator over the whole suite.
+func BenchmarkPerfModel(b *testing.B) {
+	bench := llvmsuite.Generate("FloatMM")
+	target := regalloc.DefaultTarget()
+	in := regalloc.NewInput(bench.Prog.Funcs[0], target, bench.Allowed[0])
+	asn := regalloc.Greedy(in)
+	params := perfmodel.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = perfmodel.EstimateFunc(bench.Prog.Funcs[0], asn, params)
+	}
+}

@@ -1,0 +1,88 @@
+// Command ate-alloc allocates registers for the synthetic product-level
+// ATE programs (PRO1–PRO10) with any of the solvers, mirroring the
+// translation workflow of Section II-B: given a test-pattern program
+// known to run on its source ATE, find a register assignment valid for
+// the target machine.
+//
+// Usage:
+//
+//	ate-alloc [-program PRO1|...|PRO10|all] [-solver scholz|liberty|rl|rl-bt] [-k N] [-listing]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbqprl/internal/ate"
+	"pbqprl/internal/experiments"
+	"pbqprl/internal/game"
+	"pbqprl/internal/rl"
+	"pbqprl/internal/solve"
+	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/scholz"
+)
+
+func main() {
+	program := flag.String("program", "all", "PRO1..PRO10 or all")
+	solver := flag.String("solver", "rl-bt", "scholz, liberty, rl, or rl-bt")
+	k := flag.Int("k", 25, "MCTS simulations per action for rl solvers")
+	listing := flag.Bool("listing", false, "print the program listing before allocating")
+	flag.Parse()
+
+	suite := ate.Suite()
+	anyFailed := false
+	for _, b := range suite {
+		if *program != "all" && b.Program.Name != *program {
+			continue
+		}
+		if *listing {
+			fmt.Print(b.Program.String())
+		}
+		s := makeSolver(*solver, *k)
+		res := s.Solve(b.Graph)
+		fmt.Printf("%-6s n=%-3d solver=%-18s feasible=%-5v states=%d\n",
+			b.Program.Name, b.Graph.NumVertices(), s.Name(), res.Feasible, res.States)
+		if res.Feasible {
+			fmt.Printf("       assignment:")
+			for v, c := range res.Selection {
+				if v > 0 && v%16 == 0 {
+					fmt.Printf("\n                 ")
+				}
+				fmt.Printf(" v%d=r%d", v, c)
+			}
+			fmt.Println()
+		} else {
+			anyFailed = true
+		}
+	}
+	if anyFailed {
+		os.Exit(1)
+	}
+}
+
+func makeSolver(name string, k int) solve.Solver {
+	switch name {
+	case "scholz":
+		return scholz.Solver{}
+	case "liberty":
+		return liberty.Solver{MaxStates: 50_000_000}
+	case "rl", "rl-bt":
+		n := experiments.TrainedNet(experiments.SpecK50(), func(s string) {
+			fmt.Fprintln(os.Stderr, "# "+s)
+		})
+		// increasing-liberty is the robust order at laptop training
+		// scale (see EXPERIMENTS.md E1)
+		return &rl.Solver{Net: n, Cfg: rl.Config{
+			K:            k,
+			Order:        game.OrderIncLiberty,
+			Backtrack:    name == "rl-bt",
+			ReinvokeMCTS: true,
+			MaxNodes:     500_000,
+		}}
+	default:
+		fmt.Fprintf(os.Stderr, "ate-alloc: unknown solver %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

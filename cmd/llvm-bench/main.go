@@ -1,0 +1,85 @@
+// Command llvm-bench compiles the synthetic llvm-test-suite stand-in
+// through the mini backend and compares the register allocators of
+// Section V-C: per-program spills, estimated cycles and speedup vs
+// FAST, for FAST/BASIC/GREEDY/PBQP (and PBQP-RL with -rl).
+//
+// Usage:
+//
+//	llvm-bench [-program name|all] [-rl] [-k N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbqprl/internal/experiments"
+	"pbqprl/internal/game"
+	"pbqprl/internal/llvmsuite"
+	"pbqprl/internal/perfmodel"
+	"pbqprl/internal/regalloc"
+	"pbqprl/internal/rl"
+	"pbqprl/internal/solve/scholz"
+)
+
+func main() {
+	program := flag.String("program", "all", "benchmark name or all")
+	useRL := flag.Bool("rl", false, "include the PBQP-RL allocator (trains a network on first use)")
+	k := flag.Int("k", 40, "MCTS simulations per action for PBQP-RL")
+	flag.Parse()
+
+	target := regalloc.DefaultTarget()
+	params := perfmodel.DefaultParams()
+
+	fmt.Printf("%-12s %-8s %8s %14s %9s\n", "program", "alloc", "spills", "cycles", "speedup")
+	for _, b := range llvmsuite.All() {
+		if *program != "all" && b.Prog.Name != *program {
+			continue
+		}
+		type result struct {
+			name   string
+			spills int
+			cycles float64
+		}
+		var results []result
+		fastCycles := 0.0
+		collect := func(name string, alloc func(regalloc.Input) regalloc.Assignment) {
+			spills, cycles := 0, 0.0
+			for i, f := range b.Prog.Funcs {
+				in := regalloc.NewInput(f, target, b.Allowed[i])
+				asn := alloc(in)
+				spills += asn.SpillCount()
+				cycles += perfmodel.EstimateFunc(f, asn, params)
+			}
+			if name == "FAST" {
+				fastCycles = cycles
+			}
+			results = append(results, result{name, spills, cycles})
+		}
+		collect("FAST", regalloc.Fast)
+		collect("BASIC", regalloc.Basic)
+		collect("GREEDY", regalloc.Greedy)
+		collect("PBQP", func(in regalloc.Input) regalloc.Assignment {
+			asn, _ := regalloc.PBQPAlloc(in, scholz.Solver{})
+			return asn
+		})
+		if *useRL {
+			n := experiments.LLVMNet(func(s string) { fmt.Fprintln(os.Stderr, "# "+s) })
+			collect("PBQP-RL", func(in regalloc.Input) regalloc.Assignment {
+				g := regalloc.BuildPBQP(in)
+				base := (scholz.Solver{}).Solve(g)
+				s := &rl.Solver{Net: n, Cfg: rl.Config{
+					K: *k, Order: game.OrderFixed,
+					Baseline: base.Cost, HasBaseline: true, Graded: true, HeuristicValue: true,
+					MaxNodes: 2_000_000,
+				}}
+				asn, _ := regalloc.PBQPAlloc(in, s)
+				return asn
+			})
+		}
+		for _, r := range results {
+			fmt.Printf("%-12s %-8s %8d %14.0f %8.3fx\n",
+				b.Prog.Name, r.name, r.spills, r.cycles, perfmodel.Speedup(fastCycles, r.cycles))
+		}
+	}
+}

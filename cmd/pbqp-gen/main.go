@@ -1,0 +1,71 @@
+// Command pbqp-gen generates random PBQP problem instances in the
+// textual format that pbqp-solve consumes (and optionally Graphviz DOT
+// for visualization).
+//
+// Usage:
+//
+//	pbqp-gen [-kind er|zeroinf] [-n N] [-m M] [-pedge P] [-pinf P] [-seed S] [-dot out.dot] > problem.pbqp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+)
+
+func main() {
+	kind := flag.String("kind", "er", "er (Erdős–Rényi, paper's training distribution) or zeroinf (ATE-style)")
+	n := flag.Int("n", 40, "vertices")
+	m := flag.Int("m", 13, "colors")
+	pEdge := flag.Float64("pedge", 0.2, "edge probability")
+	pInf := flag.Float64("pinf", 0.01, "infinite-entry ratio (er) / edge-entry ratio (zeroinf)")
+	hard := flag.Float64("hard", 0.4, "hard-vertex ratio (zeroinf only)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *pbqp.Graph
+	switch *kind {
+	case "er":
+		g = randgraph.ErdosRenyi(rng, randgraph.Config{
+			N: *n, M: *m, PEdge: *pEdge, PInf: *pInf,
+		})
+	case "zeroinf":
+		var hidden pbqp.Selection
+		g, hidden = randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+			N: *n, M: *m, PEdge: *pEdge, HardRatio: *hard, PEdgeInf: max(*pInf, 0.25),
+		})
+		fmt.Fprintf(os.Stderr, "# hidden zero-cost solution: %v\n", hidden)
+	default:
+		fmt.Fprintf(os.Stderr, "pbqp-gen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := pbqp.Write(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "pbqp-gen:", err)
+		os.Exit(1)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbqp-gen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pbqp.WriteDOT(f, g, "pbqp"); err != nil {
+			fmt.Fprintln(os.Stderr, "pbqp-gen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+// Command pbqp-solve reads a PBQP problem in the textual format of
+// internal/pbqp (see `pbqp-solve -help` for the grammar) and solves it
+// with the selected solver.
+//
+// Usage:
+//
+//	pbqp-solve [-solver brute|scholz|liberty|anneal|rl|rl-bt] [-k N] [-order fixed|random|inc|dec] file.pbqp
+//
+// The rl solvers use an untrained (uniform-prior) network unless -net
+// points at a checkpoint produced by pbqp-train.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbqprl/internal/experiments"
+	"pbqprl/internal/game"
+	"pbqprl/internal/mcts"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/rl"
+	"pbqprl/internal/solve"
+	"pbqprl/internal/solve/anneal"
+	"pbqprl/internal/solve/brute"
+	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/scholz"
+)
+
+func main() {
+	solver := flag.String("solver", "scholz", "brute, scholz, liberty, anneal, rl, or rl-bt (with backtracking)")
+	k := flag.Int("k", 50, "MCTS simulations per action for the rl solvers")
+	orderFlag := flag.String("order", "dec", "coloring order for rl solvers: fixed, random, inc, dec")
+	netPath := flag.String("net", "", "network checkpoint for rl solvers (empty: uniform prior)")
+	maxStates := flag.Int64("max-states", 50_000_000, "search budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pbqp-solve [flags] file.pbqp")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	g, err := pbqp.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var s solve.Solver
+	switch *solver {
+	case "brute":
+		s = brute.Solver{MaxStates: *maxStates}
+	case "scholz":
+		s = scholz.Solver{}
+	case "liberty":
+		s = liberty.Solver{MaxStates: *maxStates}
+	case "anneal":
+		s = anneal.Solver{}
+	case "rl", "rl-bt":
+		var evaluator mcts.Evaluator = mcts.Uniform{}
+		if *netPath != "" {
+			n := experiments.LoadNet(*netPath)
+			if n == nil {
+				fatal(fmt.Errorf("cannot load network %s", *netPath))
+			}
+			evaluator = n
+		}
+		s = &rl.Solver{Net: evaluator, Cfg: rl.Config{
+			K:            *k,
+			Order:        parseOrder(*orderFlag),
+			Backtrack:    *solver == "rl-bt",
+			ReinvokeMCTS: true,
+			MaxNodes:     *maxStates,
+		}}
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	res := s.Solve(g)
+	fmt.Printf("solver:   %s\n", s.Name())
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("states:   %d\n", res.States)
+	if res.Feasible {
+		fmt.Printf("cost:     %s\n", res.Cost)
+		fmt.Printf("selection:")
+		for _, c := range res.Selection {
+			fmt.Printf(" %d", c)
+		}
+		fmt.Println()
+	} else {
+		os.Exit(1)
+	}
+}
+
+func parseOrder(s string) game.Order {
+	switch s {
+	case "fixed":
+		return game.OrderFixed
+	case "random":
+		return game.OrderRandom
+	case "inc":
+		return game.OrderIncLiberty
+	case "dec":
+		return game.OrderDecLiberty
+	default:
+		fatal(fmt.Errorf("unknown order %q", s))
+		return 0
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbqp-solve:", err)
+	os.Exit(1)
+}

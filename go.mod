@@ -1,0 +1,3 @@
+module pbqprl
+
+go 1.22

@@ -1,0 +1,313 @@
+package ate
+
+import (
+	"strings"
+	"testing"
+
+	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/scholz"
+)
+
+func TestDefaultMachineValid(t *testing.T) {
+	m := DefaultMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Registers != 13 || m.Ways != 8 {
+		t.Errorf("machine shape: %d regs, %d ways", m.Registers, m.Ways)
+	}
+	// pairing irregularity: same-bank pairs work, cross-bank mostly not
+	if !m.Pairable(0, 1) || !m.Pairable(6, 7) {
+		t.Error("same-bank pairing broken")
+	}
+	if m.Pairable(4, 10) {
+		t.Error("unexpected cross-bank pair (4,10)")
+	}
+	if !m.Pairable(0, 6) {
+		t.Error("cross-bank exception (0,6) missing")
+	}
+	if !m.Pairable(12, 2) || m.Pairable(12, 3) {
+		t.Error("carry pairing wrong")
+	}
+}
+
+func TestGenerateProgramValid(t *testing.T) {
+	mach := DefaultMachine()
+	for seed := int64(0); seed < 10; seed++ {
+		prog, hidden := Generate(mach, GenConfig{
+			Name: "t", NumVRegs: 40, PairRatio: 0.4, HardRatio: 0.4, Seed: seed,
+		})
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if prog.NumVRegs != 40 || len(hidden) != 40 {
+			t.Fatalf("seed %d: wrong sizes", seed)
+		}
+	}
+}
+
+func TestHiddenAssignmentIsAlwaysValid(t *testing.T) {
+	mach := DefaultMachine()
+	for seed := int64(20); seed < 40; seed++ {
+		prog, hidden := Generate(mach, GenConfig{
+			Name: "t", NumVRegs: 60, PairRatio: 0.35, HardRatio: 0.4, Seed: seed,
+		})
+		g, err := BuildPBQP(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := g.TotalCost(hidden); c != 0 {
+			t.Fatalf("seed %d: hidden assignment costs %v, want 0", seed, c)
+		}
+	}
+}
+
+func TestPBQPCostsAreZeroOrInf(t *testing.T) {
+	prog, _ := Generate(DefaultMachine(), GenConfig{Name: "t", NumVRegs: 30, Seed: 1})
+	g, err := BuildPBQP(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, c := range g.VertexCost(v) {
+			if c != 0 && !c.IsInf() {
+				t.Fatalf("vreg %d: non-zero finite cost %v", v, c)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for _, c := range e.M.Data {
+			if c != 0 && !c.IsInf() {
+				t.Fatalf("edge (%d,%d): non-zero finite cost %v", e.U, e.V, c)
+			}
+		}
+	}
+}
+
+func TestInterferenceEncoded(t *testing.T) {
+	mach := DefaultMachine()
+	p := &Program{
+		Name: "mini", Machine: mach, NumVRegs: 2,
+		Instrs: []Instr{
+			{Op: OpSet, Def: 0},
+			{Op: OpSet, Def: 1},
+			{Op: OpEmit, Uses: []int{0, 1}},
+		},
+	}
+	g, err := BuildPBQP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.EdgeCost(0, 1)
+	if e == nil {
+		t.Fatal("no interference edge")
+	}
+	for i := 0; i < mach.Registers; i++ {
+		if !e.At(i, i).IsInf() {
+			t.Fatalf("diagonal (%d,%d) not infinite", i, i)
+		}
+	}
+	if e.At(0, 1).IsInf() {
+		t.Error("off-diagonal infinite for pure interference")
+	}
+}
+
+func TestPairingEncoded(t *testing.T) {
+	mach := DefaultMachine()
+	p := &Program{
+		Name: "mini", Machine: mach, NumVRegs: 3,
+		Instrs: []Instr{
+			{Op: OpSet, Def: 0},
+			{Op: OpSet, Def: 1},
+			{Op: OpAdd, Def: 2, Uses: []int{0, 1}},
+		},
+	}
+	g, err := BuildPBQP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.EdgeCost(0, 1)
+	if e == nil {
+		t.Fatal("no pairing edge")
+	}
+	// (4,10) is not pairable on the default machine
+	if !e.At(4, 10).IsInf() {
+		t.Error("non-pairable combination allowed")
+	}
+	// (0,1) is pairable and non-interfering? v0 and v1 are both live at
+	// the add, so the diagonal is also infinite; (0,1) off-diagonal
+	// pairable must stay finite.
+	if e.At(0, 1).IsInf() {
+		t.Error("pairable combination forbidden")
+	}
+}
+
+func TestMajorCycleWriteOnce(t *testing.T) {
+	mach := DefaultMachine()
+	// two defs in the same cycle, non-overlapping live ranges
+	p := &Program{
+		Name: "mini", Machine: mach, NumVRegs: 2,
+		Instrs: []Instr{
+			{Op: OpSet, Def: 0},
+			{Op: OpEmit, Uses: []int{0}},
+			{Op: OpSet, Def: 1}, // same cycle (ways=8): write-once applies
+			{Op: OpEmit, Uses: []int{1}},
+		},
+	}
+	g, err := BuildPBQP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.EdgeCost(0, 1)
+	if e == nil || !e.At(3, 3).IsInf() {
+		t.Error("write-once constraint missing")
+	}
+}
+
+func TestMajorCycleReadAheadOfWrite(t *testing.T) {
+	mach := &Machine{Name: "w2", Registers: 4, Ways: 2}
+	mach.pairable = make([][]bool, 4)
+	for i := range mach.pairable {
+		mach.pairable[i] = make([]bool, 4)
+	}
+	// cycle 0: def v0, def v1. cycle 1: read v0 (slot 2), def v2 (slot 3).
+	p := &Program{
+		Name: "mini", Machine: mach, NumVRegs: 3,
+		Instrs: []Instr{
+			{Op: OpSet, Def: 0},
+			{Op: OpSet, Def: 1},
+			{Op: OpEmit, Uses: []int{0}},
+			{Op: OpMove, Def: 2, Uses: []int{1}},
+		},
+	}
+	g, err := BuildPBQP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0 read at slot 2, v2 defined at slot 3 (same cycle 1): conflict
+	e := g.EdgeCost(0, 2)
+	if e == nil || !e.At(1, 1).IsInf() {
+		t.Error("read-ahead-of-write constraint missing")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	mach := DefaultMachine()
+	bad := []*Program{
+		{Name: "use-before-def", Machine: mach, NumVRegs: 1,
+			Instrs: []Instr{{Op: OpEmit, Uses: []int{0}}, {Op: OpSet, Def: 0}}},
+		{Name: "redefine", Machine: mach, NumVRegs: 1,
+			Instrs: []Instr{{Op: OpSet, Def: 0}, {Op: OpSet, Def: 0}}},
+		{Name: "never-defined", Machine: mach, NumVRegs: 2,
+			Instrs: []Instr{{Op: OpSet, Def: 0}}},
+		{Name: "out-of-range-use", Machine: mach, NumVRegs: 1,
+			Instrs: []Instr{{Op: OpSet, Def: 0}, {Op: OpEmit, Uses: []int{5}}}},
+		{Name: "bad-add", Machine: mach, NumVRegs: 2,
+			Instrs: []Instr{{Op: OpSet, Def: 0}, {Op: OpAdd, Def: 1, Uses: []int{0}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad program", p.Name)
+		}
+		if _, err := BuildPBQP(p); err == nil {
+			t.Errorf("%s: BuildPBQP accepted a bad program", p.Name)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog, _ := Generate(DefaultMachine(), GenConfig{Name: "demo", NumVRegs: 10, Seed: 3})
+	s := prog.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "major cycle") {
+		t.Errorf("listing missing structure:\n%s", s)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d programs", len(suite))
+	}
+	prev := 0
+	totalHard, totalVerts := 0, 0
+	for i, b := range suite {
+		n := b.Graph.NumVertices()
+		if n <= prev {
+			t.Errorf("PRO%d not larger than predecessor (%d <= %d)", i+1, n, prev)
+		}
+		prev = n
+		if b.Graph.M() != 13 {
+			t.Errorf("PRO%d has m = %d", i+1, b.Graph.M())
+		}
+		if c := b.Graph.TotalCost(b.Hidden); c != 0 {
+			t.Errorf("PRO%d hidden assignment costs %v", i+1, c)
+		}
+		for v := 0; v < n; v++ {
+			totalVerts++
+			if b.Graph.Liberty(v) <= 4 {
+				totalHard++
+			}
+		}
+	}
+	if first, last := suite[0].Graph.NumVertices(), suite[9].Graph.NumVertices(); first != 28 || last != 250 {
+		t.Errorf("size range [%d, %d], want [28, 250]", first, last)
+	}
+	ratio := float64(totalHard) / float64(totalVerts)
+	if ratio < 0.3 || ratio > 0.5 {
+		t.Errorf("hard-vertex ratio %.2f, want near 0.4", ratio)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i].Graph.String() != b[i].Graph.String() {
+			t.Fatalf("PRO%d differs between generations", i+1)
+		}
+	}
+}
+
+// TestSolverBehaviourOnSuite reproduces the Section V-B baseline claims
+// in shape: the original Scholz solver fails on most programs, while
+// liberty enumeration solves all of them.
+func TestSolverBehaviourOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite solving is slow")
+	}
+	suite := Suite()
+	scholzFails := 0
+	for i, b := range suite {
+		if !(scholz.Solver{}).Solve(b.Graph).Feasible {
+			scholzFails++
+		}
+		res := (liberty.Solver{MaxStates: 50_000_000}).Solve(b.Graph)
+		if !res.Feasible {
+			t.Errorf("liberty solver failed PRO%d", i+1)
+		} else if res.Cost != 0 {
+			t.Errorf("liberty solver cost %v on PRO%d", res.Cost, i+1)
+		}
+	}
+	if scholzFails < 5 {
+		t.Errorf("scholz failed only %d/10; paper shape wants most to fail", scholzFails)
+	}
+	t.Logf("scholz failed %d/10 programs", scholzFails)
+}
+
+func TestLiveRanges(t *testing.T) {
+	mach := DefaultMachine()
+	p := &Program{
+		Name: "lr", Machine: mach, NumVRegs: 2,
+		Instrs: []Instr{
+			{Op: OpSet, Def: 0},
+			{Op: OpSet, Def: 1},
+			{Op: OpEmit, Uses: []int{0}},
+		},
+	}
+	start, end := p.LiveRanges()
+	if start[0] != 0 || end[0] != 2 {
+		t.Errorf("v0 range [%d,%d]", start[0], end[0])
+	}
+	if start[1] != 1 || end[1] != 1 {
+		t.Errorf("v1 range [%d,%d]", start[1], end[1])
+	}
+}

@@ -1,0 +1,110 @@
+package ate
+
+import (
+	"fmt"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+)
+
+// BuildPBQP derives the register-allocation PBQP graph of a program
+// (Section II-B): one vertex per virtual register with m = Registers
+// colors, all costs zero or infinity.
+//
+//   - Register classes: vreg v's vector is zero on Allowed[v] and
+//     infinite elsewhere.
+//   - Interference: vregs with overlapping live ranges must differ —
+//     an infinite diagonal in the edge matrix.
+//   - Major-cycle write-once: two vregs defined in the same major cycle
+//     must differ.
+//   - Major-cycle read-ahead-of-write: a vreg read at slot p and a vreg
+//     defined at slot q > p of the same cycle must differ.
+//   - Pairing: the two sources of an add must be a pairable register
+//     pair — infinite entries at non-pairable combinations.
+func BuildPBQP(p *Program) (*pbqp.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.Machine.Registers
+	g := pbqp.New(p.NumVRegs, m)
+
+	for v := 0; v < p.NumVRegs; v++ {
+		vec := cost.NewVector(m)
+		if len(p.Allowed) > 0 && p.Allowed[v] != nil {
+			vec = cost.NewInfVector(m)
+			for _, r := range p.Allowed[v] {
+				if r < 0 || r >= m {
+					return nil, fmt.Errorf("ate: vreg %d allows out-of-range register %d", v, r)
+				}
+				vec[r] = 0
+			}
+		}
+		g.SetVertexCost(v, vec)
+	}
+
+	diag := cost.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		diag.Set(i, i, cost.Inf)
+	}
+	addDiff := func(u, v int) {
+		if u != v {
+			g.AddEdgeCost(u, v, diag)
+		}
+	}
+
+	// interference
+	start, end := p.LiveRanges()
+	for u := 0; u < p.NumVRegs; u++ {
+		for v := u + 1; v < p.NumVRegs; v++ {
+			if start[u] <= end[v] && start[v] <= end[u] {
+				addDiff(u, v)
+			}
+		}
+	}
+
+	// major-cycle constraints
+	ways := p.Machine.Ways
+	for c := 0; c*ways < len(p.Instrs); c++ {
+		lo := c * ways
+		hi := lo + ways
+		if hi > len(p.Instrs) {
+			hi = len(p.Instrs)
+		}
+		var defs []int
+		type read struct{ vreg, slot int }
+		var reads []read
+		for i := lo; i < hi; i++ {
+			in := p.Instrs[i]
+			for _, u := range in.Uses {
+				reads = append(reads, read{u, i})
+			}
+			if def := in.DefReg(); def >= 0 {
+				for _, d := range defs {
+					addDiff(d, def) // write-once
+				}
+				for _, r := range reads {
+					if r.slot < i {
+						addDiff(r.vreg, def) // read ahead of write
+					}
+				}
+				defs = append(defs, def)
+			}
+		}
+	}
+
+	// pairing
+	pair := cost.NewMatrix(m, m)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if !p.Machine.Pairable(a, b) {
+				pair.Set(a, b, cost.Inf)
+			}
+		}
+	}
+	for _, in := range p.Instrs {
+		if in.Op == OpAdd && in.Uses[0] != in.Uses[1] {
+			g.AddEdgeCost(in.Uses[0], in.Uses[1], pair)
+		}
+	}
+	return g, nil
+}

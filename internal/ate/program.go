@@ -1,0 +1,172 @@
+package ate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode is an ALPG instruction kind. The synthetic instruction set
+// covers the allocation-relevant behaviours: defining a virtual
+// register, reading registers, and pairing two registers in one
+// arithmetic operation.
+type Opcode int
+
+const (
+	// OpSet defines a virtual register from an immediate.
+	OpSet Opcode = iota
+	// OpMove defines a virtual register from another one.
+	OpMove
+	// OpAdd defines a virtual register as the sum of a *pairable*
+	// register pair: its two source registers must satisfy the
+	// machine's pairing table.
+	OpAdd
+	// OpEmit reads registers to drive the pin electronics (no def).
+	OpEmit
+	// OpNop is a filler slot in a major cycle.
+	OpNop
+)
+
+// String names the opcode in listings.
+func (o Opcode) String() string {
+	switch o {
+	case OpSet:
+		return "set"
+	case OpMove:
+		return "mov"
+	case OpAdd:
+		return "add"
+	case OpEmit:
+		return "emit"
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Instr is one ALPG instruction over virtual registers.
+type Instr struct {
+	Op Opcode
+	// Def is the virtual register written; it is only meaningful for
+	// defining opcodes (set/mov/add) — use DefReg.
+	Def int
+	// Uses are the virtual registers read. For OpAdd, Uses[0] and
+	// Uses[1] must be allocated to a pairable physical register pair.
+	Uses []int
+}
+
+// DefReg returns the virtual register this instruction defines, or -1
+// for non-defining opcodes (emit, nop) regardless of the Def field.
+func (in Instr) DefReg() int {
+	switch in.Op {
+	case OpSet, OpMove, OpAdd:
+		return in.Def
+	default:
+		return -1
+	}
+}
+
+// Program is a straight-line ALPG test-pattern program (real ATE
+// programs are single functions of bundled instruction slots).
+type Program struct {
+	// Name identifies the program (PRO1..PRO10 in the experiments).
+	Name string
+	// Machine is the target ATE model.
+	Machine *Machine
+	// Instrs is the instruction sequence; instruction i executes in
+	// major cycle i / Machine.Ways, slot i % Machine.Ways.
+	Instrs []Instr
+	// NumVRegs is the number of virtual registers; they are numbered
+	// 0..NumVRegs-1 and become the PBQP vertices.
+	NumVRegs int
+	// Allowed[v] is the set of physical registers vreg v may use
+	// (register-class constraints); nil means all registers.
+	Allowed [][]int
+}
+
+// String renders an assembly-style listing with major-cycle markers.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s: %d vregs, %d instrs, machine %s\n", p.Name, p.NumVRegs, len(p.Instrs), p.Machine.Name)
+	for i, in := range p.Instrs {
+		if i%p.Machine.Ways == 0 {
+			fmt.Fprintf(&b, "; -- major cycle %d --\n", i/p.Machine.Ways)
+		}
+		b.WriteString("\t")
+		b.WriteString(in.Op.String())
+		if in.DefReg() >= 0 {
+			fmt.Fprintf(&b, " v%d", in.DefReg())
+		}
+		for j, u := range in.Uses {
+			if j == 0 && in.DefReg() < 0 {
+				fmt.Fprintf(&b, " v%d", u)
+			} else {
+				fmt.Fprintf(&b, ", v%d", u)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LiveRanges returns, per vreg, the instruction interval [def, lastUse]
+// (lastUse = def for never-read vregs). The second return value lists,
+// per vreg, the defining instruction index (-1 if the program never
+// defines it, which Validate rejects).
+func (p *Program) LiveRanges() (start, end []int) {
+	start = make([]int, p.NumVRegs)
+	end = make([]int, p.NumVRegs)
+	for v := range start {
+		start[v] = -1
+		end[v] = -1
+	}
+	for i, in := range p.Instrs {
+		if d := in.DefReg(); d >= 0 && start[d] == -1 {
+			start[d] = i
+			end[d] = i
+		}
+		for _, u := range in.Uses {
+			if u >= 0 && u < p.NumVRegs {
+				end[u] = i
+			}
+		}
+	}
+	return start, end
+}
+
+// Validate checks program well-formedness: every vreg is defined before
+// use and defined exactly once (ATE test patterns are SSA-like).
+func (p *Program) Validate() error {
+	defined := make([]bool, p.NumVRegs)
+	for i, in := range p.Instrs {
+		for _, u := range in.Uses {
+			if u < 0 || u >= p.NumVRegs {
+				return fmt.Errorf("ate: instr %d uses out-of-range vreg %d", i, u)
+			}
+			if !defined[u] {
+				return fmt.Errorf("ate: instr %d uses undefined vreg %d", i, u)
+			}
+		}
+		if d := in.DefReg(); d >= 0 {
+			if d >= p.NumVRegs {
+				return fmt.Errorf("ate: instr %d defines out-of-range vreg %d", i, d)
+			}
+			if defined[d] {
+				return fmt.Errorf("ate: instr %d redefines vreg %d", i, d)
+			}
+			defined[d] = true
+		}
+		if in.Op == OpAdd && len(in.Uses) != 2 {
+			return fmt.Errorf("ate: instr %d: add wants 2 uses", i)
+		}
+	}
+	for v, d := range defined {
+		if !d {
+			return fmt.Errorf("ate: vreg %d never defined", v)
+		}
+	}
+	if len(p.Allowed) != 0 && len(p.Allowed) != p.NumVRegs {
+		return fmt.Errorf("ate: Allowed has %d entries, want %d", len(p.Allowed), p.NumVRegs)
+	}
+	return nil
+}

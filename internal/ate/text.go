@@ -1,0 +1,210 @@
+package ate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The ATE assembly text format is line oriented:
+//
+//	.machine ALPG-13        ; a registered machine name
+//	.vregs 32
+//	set    v0
+//	mov    v1, v0
+//	add    v2, v0, v1       ; sources must be a pairable register pair
+//	emit   v0, v2
+//	nop
+//	.allowed v0 r3 r5 r12   ; optional register-class restriction
+//
+// ';' starts a comment. Machines resolve through a registry; the two
+// built-in models are "ALPG-13" (DefaultMachine) and "ALPG-13C"
+// (CompactMachine).
+
+// Machines returns the built-in machine registry, keyed by name.
+func Machines() map[string]*Machine {
+	d, c := DefaultMachine(), CompactMachine()
+	return map[string]*Machine{d.Name: d, c.Name: c}
+}
+
+// Marshal writes prog in the ATE assembly text format.
+func Marshal(w io.Writer, prog *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; %s\n", prog.Name)
+	fmt.Fprintf(bw, ".machine %s\n", prog.Machine.Name)
+	fmt.Fprintf(bw, ".vregs %d\n", prog.NumVRegs)
+	for _, in := range prog.Instrs {
+		ops := make([]string, 0, 3)
+		if d := in.DefReg(); d >= 0 {
+			ops = append(ops, fmt.Sprintf("v%d", d))
+		}
+		for _, u := range in.Uses {
+			ops = append(ops, fmt.Sprintf("v%d", u))
+		}
+		if len(ops) == 0 {
+			fmt.Fprintf(bw, "%s\n", in.Op)
+		} else {
+			fmt.Fprintf(bw, "%-5s %s\n", in.Op, strings.Join(ops, ", "))
+		}
+	}
+	for v, allowed := range prog.Allowed {
+		if allowed == nil {
+			continue
+		}
+		fmt.Fprintf(bw, ".allowed v%d", v)
+		for _, r := range allowed {
+			fmt.Fprintf(bw, " r%d", r)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Unmarshal parses a program in the ATE assembly text format, resolving
+// the machine through the built-in registry (or `machines` when
+// non-nil). The returned program is validated.
+func Unmarshal(r io.Reader, machines map[string]*Machine) (*Program, error) {
+	if machines == nil {
+		machines = Machines()
+	}
+	prog := &Program{Name: "unnamed"}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			if lineno == 1 && strings.TrimSpace(line[:i]) == "" {
+				if name := strings.TrimSpace(line[i+1:]); name != "" {
+					prog.Name = name
+				}
+			}
+			line = line[:i]
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case ".machine":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ate: line %d: .machine wants a name", lineno)
+			}
+			m, ok := machines[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("ate: line %d: unknown machine %q", lineno, fields[1])
+			}
+			prog.Machine = m
+		case ".vregs":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ate: line %d: .vregs wants a count", lineno)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("ate: line %d: bad vreg count", lineno)
+			}
+			prog.NumVRegs = n
+		case ".allowed":
+			if prog.NumVRegs == 0 {
+				return nil, fmt.Errorf("ate: line %d: .allowed before .vregs", lineno)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("ate: line %d: .allowed wants a vreg and registers", lineno)
+			}
+			v, err := parseOperand(fields[1], 'v')
+			if err != nil || v >= prog.NumVRegs {
+				return nil, fmt.Errorf("ate: line %d: bad vreg %q", lineno, fields[1])
+			}
+			if prog.Allowed == nil {
+				prog.Allowed = make([][]int, prog.NumVRegs)
+			}
+			var regs []int
+			for _, f := range fields[2:] {
+				r, err := parseOperand(f, 'r')
+				if err != nil {
+					return nil, fmt.Errorf("ate: line %d: bad register %q", lineno, f)
+				}
+				regs = append(regs, r)
+			}
+			prog.Allowed[v] = regs
+		default:
+			op, ok := parseOpcode(fields[0])
+			if !ok {
+				return nil, fmt.Errorf("ate: line %d: unknown opcode %q", lineno, fields[0])
+			}
+			var operands []int
+			for _, f := range fields[1:] {
+				v, err := parseOperand(f, 'v')
+				if err != nil {
+					return nil, fmt.Errorf("ate: line %d: bad operand %q", lineno, f)
+				}
+				operands = append(operands, v)
+			}
+			in, err := buildInstr(op, operands)
+			if err != nil {
+				return nil, fmt.Errorf("ate: line %d: %v", lineno, err)
+			}
+			prog.Instrs = append(prog.Instrs, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if prog.Machine == nil {
+		return nil, fmt.Errorf("ate: missing .machine directive")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func parseOpcode(s string) (Opcode, bool) {
+	switch s {
+	case "set":
+		return OpSet, true
+	case "mov":
+		return OpMove, true
+	case "add":
+		return OpAdd, true
+	case "emit":
+		return OpEmit, true
+	case "nop":
+		return OpNop, true
+	default:
+		return 0, false
+	}
+}
+
+func buildInstr(op Opcode, operands []int) (Instr, error) {
+	want := map[Opcode][2]int{ // {defs, uses}
+		OpSet: {1, 0}, OpMove: {1, 1}, OpAdd: {1, 2}, OpNop: {0, 0},
+	}
+	if op == OpEmit {
+		if len(operands) == 0 {
+			return Instr{}, fmt.Errorf("emit wants at least one operand")
+		}
+		return Instr{Op: OpEmit, Def: -1, Uses: operands}, nil
+	}
+	w := want[op]
+	if len(operands) != w[0]+w[1] {
+		return Instr{}, fmt.Errorf("%s wants %d operands, got %d", op, w[0]+w[1], len(operands))
+	}
+	in := Instr{Op: op, Def: -1}
+	if w[0] == 1 {
+		in.Def = operands[0]
+		in.Uses = operands[1:]
+	} else {
+		in.Uses = operands
+	}
+	return in, nil
+}
+
+func parseOperand(s string, prefix byte) (int, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("want %c<number>", prefix)
+	}
+	return strconv.Atoi(s[1:])
+}

@@ -1,0 +1,101 @@
+package ate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	prog, _ := Generate(DefaultMachine(), GenConfig{
+		Name: "roundtrip", NumVRegs: 25, PairRatio: 0.3, HardRatio: 0.4,
+		MaxLive: 8, Seed: 77,
+	})
+	var sb strings.Builder
+	if err := Marshal(&sb, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(strings.NewReader(sb.String()), nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Name != "roundtrip" || back.NumVRegs != prog.NumVRegs {
+		t.Errorf("header lost: %q %d", back.Name, back.NumVRegs)
+	}
+	if len(back.Instrs) != len(prog.Instrs) {
+		t.Fatalf("instrs %d, want %d", len(back.Instrs), len(prog.Instrs))
+	}
+	for i, in := range prog.Instrs {
+		got := back.Instrs[i]
+		if got.Op != in.Op || got.DefReg() != in.DefReg() || len(got.Uses) != len(in.Uses) {
+			t.Fatalf("instr %d differs: %+v vs %+v", i, got, in)
+		}
+	}
+	// the derived PBQP problems must be identical
+	g1, err := BuildPBQP(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildPBQP(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Error("round trip changed the derived PBQP problem")
+	}
+}
+
+func TestUnmarshalBasics(t *testing.T) {
+	src := `; demo
+.machine ALPG-13
+.vregs 3
+set   v0
+mov   v1, v0
+add   v2, v0, v1
+emit  v2
+.allowed v2 r0 r4
+`
+	prog, err := Unmarshal(strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "demo" || prog.NumVRegs != 3 {
+		t.Errorf("header: %q %d", prog.Name, prog.NumVRegs)
+	}
+	if prog.Instrs[2].Op != OpAdd || prog.Instrs[2].Uses[1] != 1 {
+		t.Errorf("add parsed wrong: %+v", prog.Instrs[2])
+	}
+	if len(prog.Allowed[2]) != 2 || prog.Allowed[2][1] != 4 {
+		t.Errorf("allowed parsed wrong: %v", prog.Allowed[2])
+	}
+	if prog.Machine.Name != "ALPG-13" {
+		t.Error("machine not resolved")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		".vregs 2\nset v0\nset v1",                           // no machine
+		".machine NOPE\n.vregs 1\nset v0",                    // unknown machine
+		".machine ALPG-13\n.vregs x",                         // bad count
+		".machine ALPG-13\n.vregs 1\nfrob v0",                // unknown opcode
+		".machine ALPG-13\n.vregs 1\nmov v0",                 // arity
+		".machine ALPG-13\n.vregs 1\nset v0\nemit",           // emit needs operands
+		".machine ALPG-13\n.vregs 1\nset q0",                 // bad operand
+		".machine ALPG-13\n.vregs 1\n.allowed v5 r0",         // vreg range
+		".machine ALPG-13\n.allowed v0 r0",                   // allowed before vregs
+		".machine ALPG-13\n.vregs 2\nemit v0\nset v0",        // use before def
+		".machine ALPG-13\n.vregs 1\nset v0\n.allowed v0 q1", // bad register
+	}
+	for _, src := range cases {
+		if _, err := Unmarshal(strings.NewReader(src), nil); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestMachinesRegistry(t *testing.T) {
+	ms := Machines()
+	if ms["ALPG-13"] == nil || ms["ALPG-13C"] == nil {
+		t.Error("built-in machines missing")
+	}
+}

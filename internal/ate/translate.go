@@ -1,0 +1,102 @@
+package ate
+
+import (
+	"fmt"
+
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/solve"
+)
+
+// CompactMachine returns a second ATE model with a different register
+// architecture: 13 registers in three banks of four plus a carry
+// register, 4-way interleaving, and no cross-bank pairing exceptions.
+// Translating a program from the default machine to this one is the
+// harder direction — fewer pairable combinations and shorter major
+// cycles create more constraints for the same instruction stream.
+func CompactMachine() *Machine {
+	const regs = 13
+	m := &Machine{Name: "ALPG-13C", Registers: regs, Ways: 4}
+	m.pairable = make([][]bool, regs)
+	for a := 0; a < regs; a++ {
+		m.pairable[a] = make([]bool, regs)
+	}
+	set := func(a, b int) {
+		m.pairable[a][b] = true
+		m.pairable[b][a] = true
+	}
+	for bank := 0; bank < 3; bank++ {
+		lo := bank * 4
+		for a := lo; a < lo+4; a++ {
+			for b := a + 1; b < lo+4; b++ {
+				set(a, b)
+			}
+		}
+	}
+	for a := 0; a < 12; a += 3 {
+		set(12, a) // carry pairs with every third register
+	}
+	return m
+}
+
+// Translation is the result of re-targeting a test-pattern program.
+type Translation struct {
+	// Program is the re-targeted program (same instruction stream,
+	// new machine).
+	Program *Program
+	// Assignment maps each virtual register to a physical register of
+	// the target machine.
+	Assignment pbqp.Selection
+	// Result carries the solver statistics.
+	Result solve.Result
+}
+
+// Translate re-targets prog to the target machine: it rebuilds the
+// register-allocation PBQP under the target's pairing and major-cycle
+// rules and solves it with the given solver. This is the Section II-B
+// workflow — DRAM chipmakers port a verified test program to a
+// different vendor's ATE, and a failed allocation means the translation
+// (and the testing plan) fails outright.
+//
+// Register-class restrictions (Allowed) carry over only when the
+// target has at least as many registers; otherwise out-of-range
+// registers are dropped from each class, and a class that becomes
+// empty is an error.
+func Translate(prog *Program, target *Machine, solver solve.Solver) (*Translation, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	re := &Program{
+		Name:     prog.Name + "@" + target.Name,
+		Machine:  target,
+		Instrs:   prog.Instrs,
+		NumVRegs: prog.NumVRegs,
+	}
+	if prog.Allowed != nil {
+		re.Allowed = make([][]int, prog.NumVRegs)
+		for v, allowed := range prog.Allowed {
+			if allowed == nil {
+				continue
+			}
+			var kept []int
+			for _, r := range allowed {
+				if r < target.Registers {
+					kept = append(kept, r)
+				}
+			}
+			if len(kept) == 0 {
+				return nil, fmt.Errorf("ate: vreg %d has no registers on %s", v, target.Name)
+			}
+			re.Allowed[v] = kept
+		}
+	}
+	g, err := BuildPBQP(re)
+	if err != nil {
+		return nil, err
+	}
+	res := solver.Solve(g)
+	t := &Translation{Program: re, Result: res}
+	if res.Feasible {
+		t.Assignment = res.Selection
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package ate
+
+import (
+	"testing"
+
+	"pbqprl/internal/solve/liberty"
+)
+
+func TestCompactMachineValid(t *testing.T) {
+	m := CompactMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ways != 4 || m.Registers != 13 {
+		t.Errorf("shape: %d regs, %d ways", m.Registers, m.Ways)
+	}
+	if !m.Pairable(0, 1) || m.Pairable(3, 4) {
+		t.Error("bank structure wrong")
+	}
+	if !m.Pairable(12, 0) || m.Pairable(12, 1) {
+		t.Error("carry pairing wrong")
+	}
+}
+
+func TestTranslateRebuildsConstraints(t *testing.T) {
+	src := DefaultMachine()
+	prog, _ := Generate(src, GenConfig{
+		Name: "port-me", NumVRegs: 20, PairRatio: 0.2, HardRatio: 0.1,
+		MaxLive: 6, Seed: 5,
+	})
+	// widen classes for portability: the hidden assignment was chosen
+	// for the source machine and need not be valid on the target
+	prog.Allowed = nil
+	tr, err := Translate(prog, CompactMachine(), liberty.Solver{MaxStates: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Program.Machine.Name != "ALPG-13C" {
+		t.Error("machine not swapped")
+	}
+	if !tr.Result.Feasible {
+		t.Skip("this instance does not port to the compact machine (allowed)")
+	}
+	// the assignment must satisfy the *target* PBQP
+	g, err := BuildPBQP(tr.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.TotalCost(tr.Assignment); c != 0 {
+		t.Errorf("translated assignment costs %v on the target", c)
+	}
+}
+
+func TestTranslateRejectsInvalidProgram(t *testing.T) {
+	bad := &Program{Name: "bad", Machine: DefaultMachine(), NumVRegs: 1}
+	if _, err := Translate(bad, CompactMachine(), liberty.Solver{}); err == nil {
+		t.Error("accepted a program with undefined vregs")
+	}
+}
+
+func TestTranslateDropsOutOfRangeClasses(t *testing.T) {
+	src := DefaultMachine()
+	prog := &Program{
+		Name: "cls", Machine: src, NumVRegs: 1,
+		Instrs:  []Instr{{Op: OpSet, Def: 0}, {Op: OpEmit, Uses: []int{0}}},
+		Allowed: [][]int{{0, 1}},
+	}
+	small := &Machine{Name: "tiny", Registers: 1, Ways: 2}
+	small.pairable = [][]bool{{false}}
+	tr, err := Translate(prog, small, liberty.Solver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Program.Allowed[0]) != 1 || tr.Program.Allowed[0][0] != 0 {
+		t.Errorf("classes not narrowed: %v", tr.Program.Allowed[0])
+	}
+	// a class with no surviving registers is an error
+	prog.Allowed = [][]int{{5, 6}}
+	if _, err := Translate(prog, small, liberty.Solver{}); err == nil {
+		t.Error("accepted an empty register class")
+	}
+}

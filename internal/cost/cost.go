@@ -1,0 +1,279 @@
+// Package cost implements arithmetic over the extended reals R ∪ {+∞}
+// used by PBQP cost vectors and matrices.
+//
+// PBQP costs are either finite non-negative reals or +∞ ("forbidden").
+// Addition saturates at infinity, and comparisons treat +∞ as larger than
+// every finite value. The package also provides dense Vector and Matrix
+// types with the small set of operations PBQP solvers need: row/column
+// extraction, pointwise addition, minima, and selection.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Cost is a single PBQP cost entry: a finite float64 or +∞.
+type Cost float64
+
+// Inf is the infinite (forbidden) cost.
+const Inf = Cost(math.MaxFloat64)
+
+// infThreshold is the value above which a Cost is considered infinite.
+// Saturating addition can produce values above Inf/2 without overflowing,
+// and any such value is semantically "forbidden".
+const infThreshold = Cost(math.MaxFloat64 / 4)
+
+// IsInf reports whether c represents the infinite cost.
+func (c Cost) IsInf() bool { return c >= infThreshold }
+
+// Add returns c + d, saturating at Inf if either operand is infinite.
+func (c Cost) Add(d Cost) Cost {
+	if c.IsInf() || d.IsInf() {
+		return Inf
+	}
+	return c + d
+}
+
+// Less reports whether c is strictly smaller than d. All infinite values
+// compare equal to each other and greater than any finite value.
+func (c Cost) Less(d Cost) bool {
+	if c.IsInf() {
+		return false
+	}
+	if d.IsInf() {
+		return true
+	}
+	return c < d
+}
+
+// Finite returns the float64 value of a finite cost; it panics on Inf.
+func (c Cost) Finite() float64 {
+	if c.IsInf() {
+		panic("cost: Finite called on infinite cost")
+	}
+	return float64(c)
+}
+
+// String renders the cost, using "inf" for the infinite value.
+func (c Cost) String() string {
+	if c.IsInf() {
+		return "inf"
+	}
+	return strconv.FormatFloat(float64(c), 'g', -1, 64)
+}
+
+// Parse parses a cost from its textual form. "inf" (case-insensitive)
+// denotes the infinite cost.
+func Parse(s string) (Cost, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "inf") {
+		return Inf, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cost: parse %q: %w", s, err)
+	}
+	if math.IsInf(f, 1) {
+		return Inf, nil
+	}
+	if math.IsNaN(f) || math.IsInf(f, -1) {
+		return 0, fmt.Errorf("cost: parse %q: not a valid PBQP cost", s)
+	}
+	return Cost(f), nil
+}
+
+// Vector is a dense PBQP cost vector (one entry per selectable color).
+type Vector []Cost
+
+// NewVector returns a zero vector of length m.
+func NewVector(m int) Vector { return make(Vector, m) }
+
+// NewInfVector returns a vector of length m with every entry infinite.
+func NewInfVector(m int) Vector {
+	v := make(Vector, m)
+	for i := range v {
+		v[i] = Inf
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// AddInPlace adds w to v elementwise, saturating at infinity.
+// It panics if the lengths differ.
+func (v Vector) AddInPlace(w Vector) {
+	if len(v) != len(w) {
+		panic("cost: vector length mismatch")
+	}
+	for i := range v {
+		v[i] = v[i].Add(w[i])
+	}
+}
+
+// Min returns the smallest finite entry and its index, resolving ties to
+// the lowest index. If the vector is empty or every entry is infinite it
+// returns (Inf, -1).
+func (v Vector) Min() (Cost, int) {
+	best, idx := Inf, -1
+	for i, c := range v {
+		if c.IsInf() {
+			continue
+		}
+		if idx == -1 || c.Less(best) {
+			best, idx = c, i
+		}
+	}
+	return best, idx
+}
+
+// Liberty returns the number of finite (selectable) entries.
+func (v Vector) Liberty() int {
+	n := 0
+	for _, c := range v {
+		if !c.IsInf() {
+			n++
+		}
+	}
+	return n
+}
+
+// AllInf reports whether every entry of v is infinite (a dead end).
+func (v Vector) AllInf() bool { return v.Liberty() == 0 }
+
+// Equal reports whether v and w are identical entrywise, with all infinite
+// representations comparing equal.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i].IsInf() != w[i].IsInf() {
+			return false
+		}
+		if !v[i].IsInf() && v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as "[a b c]".
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, c := range v {
+		parts[i] = c.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Matrix is a dense rows×cols PBQP cost matrix stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []Cost
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]Cost, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a row-major slice of rows.
+// It panics if the rows are ragged.
+func NewMatrixFrom(rows [][]Cost) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("cost: ragged matrix rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) Cost { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, c Cost) { m.Data[i*m.Cols+j] = c }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	v := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.At(i, j)
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// AddInPlace adds o to m elementwise, saturating at infinity.
+// It panics on shape mismatch.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("cost: matrix shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] = m.Data[i].Add(o.Data[i])
+	}
+}
+
+// IsZero reports whether every entry of m is (finitely) zero. A PBQP edge
+// with an all-zero matrix is semantically absent.
+func (m *Matrix) IsZero() bool {
+	for _, c := range m.Data {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports entrywise equality (all infinities compare equal).
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	return Vector(m.Data).Equal(Vector(o.Data))
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).String())
+	}
+	return b.String()
+}

@@ -1,0 +1,364 @@
+// Package game formulates PBQP as the paper's single-player, turn-based
+// coloring game (Section III).
+//
+// A State wraps a PBQP graph whose vertices are numbered in coloring
+// order. An action colors the next uncolored vertex; the transition
+// detaches it and folds the selected edge-matrix rows into the uncolored
+// neighbors' cost vectors (Figure 3), so every state is an equivalent,
+// smaller uncolored graph — exactly the reduced-state encoding the
+// paper uses to keep the network input uniform.
+//
+// Play/Undo are O(degree): the structure of the graph is immutable for a
+// fixed order, only the suffix cost vectors mutate, and Undo restores
+// the saved neighbor vectors. This makes MCTS simulation cheap and makes
+// the backtracking solver's take-backs exact (infinity saturation is not
+// arithmetically reversible, so vectors are restored, not subtracted).
+package game
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/tensor"
+)
+
+// Order selects the coloring order of a PBQP game (Section IV-E).
+type Order int
+
+const (
+	// OrderFixed colors vertices in their existing numbering, the
+	// paper's formulation for training on random graphs.
+	OrderFixed Order = iota
+	// OrderRandom shuffles the vertices (Figure 6 variant b).
+	OrderRandom
+	// OrderIncLiberty colors low-liberty (hard) vertices first, the
+	// order used by the liberty enumeration solver (variant c).
+	OrderIncLiberty
+	// OrderDecLiberty colors high-liberty (easy) vertices first so
+	// that hard decisions are made when MCTS is most informed — the
+	// paper's recommended strategy (variant d).
+	OrderDecLiberty
+)
+
+// String names the order as in Figure 6.
+func (o Order) String() string {
+	switch o {
+	case OrderFixed:
+		return "fixed"
+	case OrderRandom:
+		return "random"
+	case OrderIncLiberty:
+		return "inc-liberty"
+	case OrderDecLiberty:
+		return "dec-liberty"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// MakeOrder returns the coloring order for g: a permutation listing the
+// alive vertices in the order they will be colored. rng is only used by
+// OrderRandom and may be nil otherwise.
+func MakeOrder(g *pbqp.Graph, o Order, rng *rand.Rand) []int {
+	vs := g.Vertices()
+	switch o {
+	case OrderRandom:
+		rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+	case OrderIncLiberty:
+		sort.SliceStable(vs, func(i, j int) bool { return g.Liberty(vs[i]) < g.Liberty(vs[j]) })
+	case OrderDecLiberty:
+		sort.SliceStable(vs, func(i, j int) bool { return g.Liberty(vs[i]) > g.Liberty(vs[j]) })
+	}
+	return vs
+}
+
+// State is a PBQP game in progress.
+type State struct {
+	n, m     int
+	vecs     []cost.Vector // current cost vectors (mutated in place)
+	adj      [][]int       // full adjacency among all vertices
+	tmats    []map[int]*tensor.Mat
+	rawmats  []map[int]*cost.Matrix // oriented rows = first index
+	order    []int                  // game vertex -> original vertex
+	t        int                    // next vertex to color
+	played   []int
+	acc      cost.Cost
+	dead     int // uncolored vertices with all-infinite vectors
+	undo     []undoRec
+	baseline cost.Cost
+	graded   bool
+}
+
+// change records one overwritten cost-vector entry (infinity saturation
+// is not subtractable, so Undo restores saved values). Only entries that
+// actually change are logged; in the ATE zero/infinity regime most edge
+// row entries are zero, so logs stay tiny and Play/Undo stay cheap
+// inside MCTS simulation.
+type change struct {
+	v, i int
+	old  cost.Cost
+}
+
+type undoRec struct {
+	changes []change
+	acc     cost.Cost
+	dead    int
+}
+
+// New builds a game over g with the given coloring order (a permutation
+// of g's alive vertices, as returned by MakeOrder). The graph is not
+// retained or mutated. The baseline for terminal rewards defaults to
+// infinity: any finite-cost coloring counts as a win, the ATE regime.
+func New(g *pbqp.Graph, order []int) *State {
+	h := g.Permute(order)
+	n, m := h.NumVertices(), h.M()
+	s := &State{
+		n: n, m: m,
+		vecs:     make([]cost.Vector, n),
+		adj:      make([][]int, n),
+		tmats:    make([]map[int]*tensor.Mat, n),
+		rawmats:  make([]map[int]*cost.Matrix, n),
+		order:    append([]int(nil), order...),
+		baseline: cost.Inf,
+	}
+	for u := 0; u < n; u++ {
+		s.vecs[u] = h.VertexCost(u).Clone()
+		s.adj[u] = h.Neighbors(u)
+		s.tmats[u] = make(map[int]*tensor.Mat)
+		s.rawmats[u] = make(map[int]*cost.Matrix)
+		if s.vecs[u].AllInf() {
+			s.dead++
+		}
+	}
+	for _, e := range h.Edges() {
+		mu := e.M.Clone()
+		s.rawmats[e.U][e.V] = mu
+		s.rawmats[e.V][e.U] = mu.Transpose()
+		s.tmats[e.U][e.V] = gcn.TransformMatrix(s.rawmats[e.U][e.V])
+		s.tmats[e.V][e.U] = gcn.TransformMatrix(s.rawmats[e.V][e.U])
+	}
+	return s
+}
+
+// N returns the total number of vertices in the game.
+func (s *State) N() int { return s.n }
+
+// M returns the color count.
+func (s *State) M() int { return s.m }
+
+// Turn returns the index of the next vertex to color (= the number of
+// coloring actions taken so far).
+func (s *State) Turn() int { return s.t }
+
+// Done reports whether every vertex has been colored.
+func (s *State) Done() bool { return s.t == s.n }
+
+// Acc returns the accumulated cost of the actions taken so far. Because
+// edge costs are folded into vertex vectors on each transition, this is
+// the full Equation-1 cost of the colored prefix.
+func (s *State) Acc() cost.Cost { return s.acc }
+
+// SetBaseline sets the best player's cost for this episode; terminal
+// values compare against it (Section III-B).
+func (s *State) SetBaseline(c cost.Cost) { s.baseline = c }
+
+// Baseline returns the current baseline.
+func (s *State) Baseline() cost.Cost { return s.baseline }
+
+// SetGraded switches terminal values from the paper's ternary
+// win/tie/loss to a graded margin against the baseline. The ternary
+// reward is right for training (the competition of Section III-B) and
+// for the ATE zero/∞ regime, but during *minimization inference* every
+// coloring that fails to beat a strong baseline scores the same −1 and
+// the search cannot tell nearly-as-good from terrible; the graded value
+// (baseline − cost)/baseline, clamped to [−1, 1], restores the
+// gradient.
+func (s *State) SetGraded(g bool) { s.graded = g }
+
+// Legal reports whether coloring the next vertex with color a has
+// finite cost.
+func (s *State) Legal(a int) bool { return !s.vecs[s.t][a].IsInf() }
+
+// LegalMask returns the legal-color mask of the next vertex.
+func (s *State) LegalMask() []bool {
+	mask := make([]bool, s.m)
+	for i, c := range s.vecs[s.t] {
+		mask[i] = !c.IsInf()
+	}
+	return mask
+}
+
+// DeadEnd reports whether the game is stuck: some uncolored vertex has
+// no finite color left (Section IV-E). Detection is eager, as in the
+// paper's graph manager, which notices a dead end as soon as it
+// "transits to a new reduced graph": the propagation that kills a
+// vertex makes the state terminal immediately, not only once the dead
+// vertex comes up for coloring.
+func (s *State) DeadEnd() bool { return !s.Done() && s.dead > 0 }
+
+// Play colors the next vertex with color a, propagating costs to its
+// uncolored neighbors. It panics if the game is done or a is illegal;
+// use Legal first.
+func (s *State) Play(a int) {
+	if s.Done() {
+		panic("game: Play on a finished game")
+	}
+	if a < 0 || a >= s.m || !s.Legal(a) {
+		panic(fmt.Sprintf("game: illegal action %d at turn %d", a, s.t))
+	}
+	rec := undoRec{acc: s.acc, dead: s.dead}
+	for _, v := range s.adj[s.t] {
+		if v <= s.t {
+			continue
+		}
+		row := s.rawmats[s.t][v].Row(a)
+		vec := s.vecs[v]
+		wasDead := vec.AllInf()
+		for i, rc := range row {
+			if rc == 0 {
+				continue
+			}
+			rec.changes = append(rec.changes, change{v: v, i: i, old: vec[i]})
+			vec[i] = vec[i].Add(rc)
+		}
+		if !wasDead && vec.AllInf() {
+			s.dead++
+		}
+	}
+	s.undo = append(s.undo, rec)
+	s.acc = s.acc.Add(s.vecs[s.t][a])
+	s.played = append(s.played, a)
+	s.t++
+}
+
+// Undo reverts the most recent Play. It panics if no action was taken.
+func (s *State) Undo() {
+	if s.t == 0 {
+		panic("game: Undo at initial state")
+	}
+	s.t--
+	rec := s.undo[len(s.undo)-1]
+	s.undo = s.undo[:len(s.undo)-1]
+	s.played = s.played[:len(s.played)-1]
+	s.acc = rec.acc
+	s.dead = rec.dead
+	for i := len(rec.changes) - 1; i >= 0; i-- {
+		ch := rec.changes[i]
+		s.vecs[ch.v][ch.i] = ch.old
+	}
+}
+
+// Played returns the colors chosen so far, indexed by game vertex.
+func (s *State) Played() []int { return append([]int(nil), s.played...) }
+
+// Selection maps the colors played so far back to original vertex ids.
+// It is only complete when Done.
+func (s *State) Selection(numOriginal int) pbqp.Selection {
+	sel := make(pbqp.Selection, numOriginal)
+	for i := range sel {
+		sel[i] = -1
+	}
+	for i, a := range s.played {
+		sel[s.order[i]] = a
+	}
+	return sel
+}
+
+// TerminalValue returns the reward of the current position against the
+// baseline: +1 (win) when the accumulated cost beats the baseline, -1
+// (loss) when it is worse or the game is stuck at a dead end, 0 for a
+// tie. It is meaningful for finished or dead-end games.
+func (s *State) TerminalValue() float64 {
+	if s.DeadEnd() {
+		return -1
+	}
+	if s.graded {
+		return GradedReward(s.acc, s.baseline)
+	}
+	return CompareCosts(s.acc, s.baseline)
+}
+
+// LowerBound returns an optimistic completion estimate of the current
+// position: the accumulated cost plus, for every uncolored vertex, the
+// minimum finite entry of its current (propagated) vector. Edge costs
+// between uncolored vertices are ignored, so for non-negative edge
+// matrices this is a true lower bound on any completion.
+func (s *State) LowerBound() cost.Cost {
+	lb := s.acc
+	for i := s.t; i < s.n; i++ {
+		m, idx := s.vecs[i].Min()
+		if idx < 0 {
+			return cost.Inf
+		}
+		lb = lb.Add(m)
+	}
+	return lb
+}
+
+// HeuristicValue scores the current position by comparing the
+// LowerBound against the baseline on the graded scale. It is a cheap
+// stand-in for the V-Net during minimization inference: optimistic (a
+// bound, not an estimate), which is exactly what UCT-style search
+// wants from an admissible heuristic.
+func (s *State) HeuristicValue() float64 {
+	return GradedReward(s.LowerBound(), s.baseline)
+}
+
+// GradedReward returns the margin-based reward of achieving cost got
+// against cost base: (base − got)/|base| clamped to [−1, 1], with the
+// infinite cases degenerating to ±1 as in CompareCosts.
+func GradedReward(got, base cost.Cost) float64 {
+	if got.IsInf() && base.IsInf() {
+		return 0
+	}
+	if got.IsInf() {
+		return -1
+	}
+	if base.IsInf() {
+		return 1
+	}
+	b := float64(base)
+	if b == 0 {
+		return CompareCosts(got, base)
+	}
+	if b < 0 {
+		b = -b
+	}
+	v := (float64(base) - float64(got)) / b
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// CompareCosts returns the competition reward of achieving cost got
+// against cost base: +1 if strictly lower, -1 if strictly higher, 0 on
+// a tie (within a small relative tolerance).
+func CompareCosts(got, base cost.Cost) float64 {
+	if got.IsInf() && base.IsInf() {
+		return 0
+	}
+	if got.IsInf() {
+		return -1
+	}
+	if base.IsInf() {
+		return 1
+	}
+	diff := float64(got - base)
+	tol := 1e-9 * (1 + float64(got) + float64(base))
+	switch {
+	case diff < -tol:
+		return 1
+	case diff > tol:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,282 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+)
+
+func fig2Graph() *pbqp.Graph {
+	g := pbqp.New(3, 2)
+	g.SetVertexCost(0, cost.Vector{5, 2})
+	g.SetVertexCost(1, cost.Vector{5, 0})
+	g.SetVertexCost(2, cost.Vector{0, 0})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{{1, 3}, {7, 8}}))
+	g.SetEdgeCost(1, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 4}, {9, 6}}))
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 2}, {5, 3}}))
+	return g
+}
+
+func TestPlayAccumulatesEquationOneCost(t *testing.T) {
+	g := fig2Graph()
+	st := New(g, []int{0, 1, 2})
+	st.Play(1)
+	st.Play(1)
+	st.Play(0)
+	if !st.Done() {
+		t.Fatal("not done after n plays")
+	}
+	if st.Acc() != 24 {
+		t.Errorf("acc = %v, want 24", st.Acc())
+	}
+	sel := st.Selection(3)
+	if got := g.TotalCost(sel); got != 24 {
+		t.Errorf("selection cost = %v", got)
+	}
+}
+
+func TestUndoRestoresExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 8, M: 3, PEdge: 0.5, PInf: 0.2})
+		st := New(g, MakeOrder(g, OrderFixed, nil))
+		// record reachable state fingerprints while playing randomly
+		type fp struct {
+			t    int
+			acc  cost.Cost
+			vecs []cost.Vector
+		}
+		snap := func() fp {
+			f := fp{t: st.Turn(), acc: st.Acc()}
+			for _, v := range st.vecs {
+				f.vecs = append(f.vecs, v.Clone())
+			}
+			return f
+		}
+		var stack []fp
+		for !st.Done() && !st.DeadEnd() {
+			stack = append(stack, snap())
+			legal := []int{}
+			for a := 0; a < st.M(); a++ {
+				if st.Legal(a) {
+					legal = append(legal, a)
+				}
+			}
+			st.Play(legal[rng.Intn(len(legal))])
+		}
+		for len(stack) > 0 {
+			st.Undo()
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if st.Turn() != want.t {
+				t.Fatalf("turn after undo = %d, want %d", st.Turn(), want.t)
+			}
+			if st.Acc().IsInf() != want.acc.IsInf() || (!st.Acc().IsInf() && st.Acc() != want.acc) {
+				t.Fatalf("acc after undo = %v, want %v", st.Acc(), want.acc)
+			}
+			for u, v := range st.vecs {
+				if !v.Equal(want.vecs[u]) {
+					t.Fatalf("vertex %d vector after undo = %v, want %v", u, v, want.vecs[u])
+				}
+			}
+		}
+	}
+}
+
+func TestDeadEndDetection(t *testing.T) {
+	g := pbqp.New(2, 2)
+	g.SetVertexCost(0, cost.Vector{0, 0})
+	g.SetVertexCost(1, cost.Vector{0, 0})
+	mat := cost.NewMatrix(2, 2)
+	for i := range mat.Data {
+		mat.Data[i] = cost.Inf
+	}
+	g.SetEdgeCost(0, 1, mat)
+	st := New(g, []int{0, 1})
+	if st.DeadEnd() {
+		t.Fatal("dead end before any play")
+	}
+	st.Play(0)
+	if !st.DeadEnd() {
+		t.Fatal("dead end not detected")
+	}
+	if st.TerminalValue() != -1 {
+		t.Errorf("dead-end value = %v, want -1", st.TerminalValue())
+	}
+	st.Undo()
+	if st.DeadEnd() {
+		t.Fatal("dead end persists after undo")
+	}
+}
+
+func TestIllegalPlayPanics(t *testing.T) {
+	g := pbqp.New(1, 2)
+	g.SetVertexCost(0, cost.Vector{0, cost.Inf})
+	st := New(g, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Play(1)
+}
+
+func TestUndoAtStartPanics(t *testing.T) {
+	st := New(fig2Graph(), []int{0, 1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Undo()
+}
+
+func TestTerminalValueAgainstBaseline(t *testing.T) {
+	g := fig2Graph()
+	st := New(g, []int{0, 1, 2})
+	st.Play(0)
+	st.Play(0)
+	st.Play(0)                           // optimal, cost 11
+	if v := st.TerminalValue(); v != 1 { // default baseline is Inf
+		t.Errorf("value vs Inf baseline = %v, want 1", v)
+	}
+	st.SetBaseline(11)
+	if v := st.TerminalValue(); v != 0 {
+		t.Errorf("value vs equal baseline = %v, want 0", v)
+	}
+	st.SetBaseline(10)
+	if v := st.TerminalValue(); v != -1 {
+		t.Errorf("value vs better baseline = %v, want -1", v)
+	}
+	st.SetBaseline(12)
+	if v := st.TerminalValue(); v != 1 {
+		t.Errorf("value vs worse baseline = %v, want 1", v)
+	}
+}
+
+func TestCompareCosts(t *testing.T) {
+	if CompareCosts(cost.Inf, cost.Inf) != 0 {
+		t.Error("inf vs inf")
+	}
+	if CompareCosts(cost.Inf, 5) != -1 {
+		t.Error("inf vs finite")
+	}
+	if CompareCosts(5, cost.Inf) != 1 {
+		t.Error("finite vs inf")
+	}
+	if CompareCosts(5, 5.0000000000001) != 0 {
+		t.Error("near-tie not a tie")
+	}
+}
+
+func TestMakeOrderLiberty(t *testing.T) {
+	g := pbqp.New(3, 3)
+	g.SetVertexCost(0, cost.Vector{0, 0, 0})               // liberty 3
+	g.SetVertexCost(1, cost.Vector{cost.Inf, cost.Inf, 0}) // liberty 1
+	g.SetVertexCost(2, cost.Vector{cost.Inf, 0, 0})        // liberty 2
+	inc := MakeOrder(g, OrderIncLiberty, nil)
+	if inc[0] != 1 || inc[1] != 2 || inc[2] != 0 {
+		t.Errorf("inc order = %v", inc)
+	}
+	dec := MakeOrder(g, OrderDecLiberty, nil)
+	if dec[0] != 0 || dec[1] != 2 || dec[2] != 1 {
+		t.Errorf("dec order = %v", dec)
+	}
+	fixed := MakeOrder(g, OrderFixed, nil)
+	if fixed[0] != 0 || fixed[1] != 1 || fixed[2] != 2 {
+		t.Errorf("fixed order = %v", fixed)
+	}
+	rng := rand.New(rand.NewSource(7))
+	random := MakeOrder(g, OrderRandom, rng)
+	if len(random) != 3 {
+		t.Errorf("random order = %v", random)
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	for o, want := range map[Order]string{
+		OrderFixed: "fixed", OrderRandom: "random",
+		OrderIncLiberty: "inc-liberty", OrderDecLiberty: "dec-liberty",
+		Order(9): "order(9)",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestSelectionRespectsOrder(t *testing.T) {
+	g := fig2Graph()
+	order := []int{2, 0, 1}
+	st := New(g, order)
+	st.Play(0) // colors original vertex 2
+	st.Play(1) // colors original vertex 0
+	sel := st.Selection(3)
+	if sel[2] != 0 || sel[0] != 1 || sel[1] != -1 {
+		t.Errorf("selection = %v", sel)
+	}
+}
+
+func TestViewConvention(t *testing.T) {
+	g := fig2Graph()
+	st := New(g, []int{0, 1, 2})
+	v := st.View()
+	if v.N() != 3 || v.M() != 2 {
+		t.Fatalf("view shape (%d,%d)", v.N(), v.M())
+	}
+	st.Play(1)
+	v = st.View()
+	if v.N() != 2 {
+		t.Fatalf("view N after play = %d", v.N())
+	}
+	// active vertex 0 is game vertex 1; its vector gained row 1 of
+	// the (0,1) edge matrix: (5,0) + (7,8) = (12,8)
+	if !v.Vec(0).Equal(cost.Vector{12, 8}) {
+		t.Errorf("view vec(0) = %v", v.Vec(0))
+	}
+	// edge between the remaining two vertices must be visible
+	if len(v.Nbrs(0)) != 1 || v.Nbrs(0)[0] != 1 {
+		t.Errorf("view nbrs = %v", v.Nbrs(0))
+	}
+	if v.Mat(0, 1) == nil {
+		t.Error("view missing edge matrix")
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	g := fig2Graph()
+	st := New(g, []int{0, 1, 2})
+	st.Play(1)
+	snap := st.Snapshot()
+	before := snap.Vec(0).Clone()
+	st.Play(0)
+	st.Undo()
+	st.Undo()
+	if !snap.Vec(0).Equal(before) {
+		t.Error("snapshot changed after play/undo")
+	}
+	if snap.N() != 2 {
+		t.Errorf("snapshot N = %d", snap.N())
+	}
+}
+
+func TestPlayedAndLegalMask(t *testing.T) {
+	g := fig2Graph()
+	st := New(g, []int{0, 1, 2})
+	mask := st.LegalMask()
+	if !mask[0] || !mask[1] {
+		t.Errorf("mask = %v", mask)
+	}
+	st.Play(0)
+	played := st.Played()
+	if len(played) != 1 || played[0] != 0 {
+		t.Errorf("played = %v", played)
+	}
+	played[0] = 99 // must be a copy
+	if st.Played()[0] != 0 {
+		t.Error("Played aliases internal state")
+	}
+}

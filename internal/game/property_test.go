@@ -1,0 +1,72 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/randgraph"
+)
+
+// Property: CompareCosts is antisymmetric — swapping the operands
+// negates the reward.
+func TestCompareCostsAntisymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a < 0 {
+			a = -a
+		}
+		if b < 0 {
+			b = -b
+		}
+		x, y := cost.Cost(a), cost.Cost(b)
+		return CompareCosts(x, y) == -CompareCosts(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CompareCosts(cost.Inf, 3) != -CompareCosts(3, cost.Inf) {
+		t.Error("antisymmetry broken for infinity")
+	}
+}
+
+// Property: for any legal play sequence, the accumulated cost equals
+// the Equation-1 cost of the selection on the original graph — and the
+// eager dead-end flag agrees with a from-scratch scan of the suffix.
+func TestPlayInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+			N: 4 + rng.Intn(12), M: 3 + rng.Intn(4), PEdge: 0.4, HardRatio: 0.4, PEdgeInf: 0.3,
+		})
+		order := MakeOrder(g, OrderRandom, rng)
+		st := New(g, order)
+		for !st.Done() && !st.DeadEnd() {
+			var legal []int
+			for a := 0; a < st.M(); a++ {
+				if st.Legal(a) {
+					legal = append(legal, a)
+				}
+			}
+			st.Play(legal[rng.Intn(len(legal))])
+			// recompute deadness from scratch
+			fresh := false
+			for i := st.Turn(); i < st.N(); i++ {
+				if st.vecs[i].AllInf() {
+					fresh = true
+					break
+				}
+			}
+			if fresh != st.DeadEnd() {
+				t.Fatalf("trial %d: dead-end flag %v, scan %v", trial, st.DeadEnd(), fresh)
+			}
+		}
+		if st.Done() {
+			sel := st.Selection(g.NumVertices())
+			if got := g.TotalCost(sel); got.IsInf() != st.Acc().IsInf() ||
+				(!got.IsInf() && got != st.Acc()) {
+				t.Fatalf("trial %d: acc %v, Equation 1 %v", trial, st.Acc(), got)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package game
+
+import (
+	"pbqprl/internal/cost"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/tensor"
+)
+
+// View returns a gcn.View over the uncolored suffix of the game. Active
+// vertex 0 is the next vertex to color, matching the net package's
+// convention. Adjacency is materialized once at creation (the GCN walks
+// it once per layer); vertex vectors are read live, so the view is
+// invalidated by Play/Undo. Use Snapshot for a frozen copy.
+func (s *State) View() gcn.View {
+	n := s.n - s.t
+	v := &suffixView{s: s, t: s.t, nbrs: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		u := s.t + i
+		for _, w := range s.adj[u] {
+			if w >= s.t {
+				v.nbrs[i] = append(v.nbrs[i], w-s.t)
+			}
+		}
+	}
+	return v
+}
+
+type suffixView struct {
+	s    *State
+	t    int
+	nbrs [][]int
+}
+
+func (v *suffixView) N() int { return v.s.n - v.t }
+func (v *suffixView) M() int { return v.s.m }
+
+func (v *suffixView) Vec(i int) cost.Vector { return v.s.vecs[v.t+i] }
+
+func (v *suffixView) Nbrs(i int) []int { return v.nbrs[i] }
+
+func (v *suffixView) Mat(i, j int) *tensor.Mat {
+	return v.s.tmats[v.t+i][v.t+j]
+}
+
+// Snapshot returns a self-contained, immutable gcn.View of the current
+// uncolored suffix, for storing in a training replay buffer. Vertex cost
+// vectors are copied; the transformed edge matrices are shared with the
+// state (they never change during an episode).
+func (s *State) Snapshot() gcn.View {
+	n := s.n - s.t
+	snap := &snapshotView{
+		m:    s.m,
+		vecs: make([]cost.Vector, n),
+		nbrs: make([][]int, n),
+		mats: make([]map[int]*tensor.Mat, n),
+	}
+	for i := 0; i < n; i++ {
+		u := s.t + i
+		snap.vecs[i] = s.vecs[u].Clone()
+		snap.mats[i] = make(map[int]*tensor.Mat)
+		for _, w := range s.adj[u] {
+			if w >= s.t {
+				j := w - s.t
+				snap.nbrs[i] = append(snap.nbrs[i], j)
+				snap.mats[i][j] = s.tmats[u][w]
+			}
+		}
+	}
+	return snap
+}
+
+type snapshotView struct {
+	m    int
+	vecs []cost.Vector
+	nbrs [][]int
+	mats []map[int]*tensor.Mat
+}
+
+func (v *snapshotView) N() int                   { return len(v.vecs) }
+func (v *snapshotView) M() int                   { return v.m }
+func (v *snapshotView) Vec(i int) cost.Vector    { return v.vecs[i] }
+func (v *snapshotView) Nbrs(i int) []int         { return v.nbrs[i] }
+func (v *snapshotView) Mat(i, j int) *tensor.Mat { return v.mats[i][j] }

@@ -1,0 +1,252 @@
+// Package gcn implements the paper's PBQP graph embedding (Section
+// III-D): a message-passing graph convolutional network whose messages
+// are multiplied by the edge cost matrices, so that the embedding
+// reflects the actual cost interaction between neighboring vertices,
+// not just adjacency.
+//
+// Hidden vectors have width m (the color count), exactly as in the
+// paper, so that an m×m cost matrix can multiply a hidden vector.
+// Infinite costs cannot flow through a network directly: Featurize maps
+// a cost vector to a 2m-feature input (a squashed finite channel plus a
+// 0/1 infinity mask) and TransformMatrix maps cost matrix entries to
+// bounded floats with a distinguished value for infinity.
+//
+// Layer update for vertex v with neighbors N(v):
+//
+//	h⁰_v      = tanh(W_in·φ(v) + b_in)
+//	msg_v     = mean_{u ∈ N(v)} M̃_vu · hˡ_u
+//	hˡ⁺¹_v    = tanh(W_self·hˡ_v + W_nbr·msg_v + b)
+//
+// where M̃_vu is the transformed cost matrix oriented (rows = v's color).
+package gcn
+
+import (
+	"math"
+	"math/rand"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/nn"
+	"pbqprl/internal/tensor"
+)
+
+// View is the graph a GCN embeds: the uncolored remainder of a PBQP
+// problem in reduced form. Implementations must present transformed
+// (finite) edge matrices; TransformMatrix is the canonical conversion.
+type View interface {
+	// N returns the number of active vertices, addressed as [0, N).
+	N() int
+	// M returns the color count.
+	M() int
+	// Vec returns active vertex v's current cost vector.
+	Vec(v int) cost.Vector
+	// Nbrs returns the active neighbors of v.
+	Nbrs(v int) []int
+	// Mat returns the transformed cost matrix of edge (v, u), oriented
+	// with rows indexing v's color.
+	Mat(v, u int) *tensor.Mat
+}
+
+const (
+	// infFeature is the numeric stand-in for an infinite cost after
+	// transformation. Finite costs squash into [0, 1); infinity maps
+	// well above them so the network can separate the regimes.
+	infFeature = 2.0
+	// costScale divides log1p(cost) in the squashing transform.
+	costScale = 4.0
+)
+
+// squash maps one cost entry to a bounded float feature. Finite costs
+// use a sign-preserving logarithmic compression (register-allocation
+// PBQP graphs contain negative coalescing-hint costs).
+func squash(c cost.Cost) float64 {
+	if c.IsInf() {
+		return infFeature
+	}
+	f := float64(c)
+	if f < 0 {
+		return -math.Log1p(-f) / costScale
+	}
+	return math.Log1p(f) / costScale
+}
+
+// TransformMatrix converts a cost matrix to the numeric form the GCN
+// multiplies messages by.
+func TransformMatrix(m *cost.Matrix) *tensor.Mat {
+	t := tensor.NewMat(m.Rows, m.Cols)
+	for i, c := range m.Data {
+		t.W[i] = squash(c)
+	}
+	return t
+}
+
+// Featurize converts a cost vector to the 2m-feature GCN input: the
+// squashed finite channel followed by the 0/1 infinity mask.
+func Featurize(v cost.Vector) tensor.Vec {
+	f := tensor.NewVec(2 * len(v))
+	for i, c := range v {
+		f[i] = squash(c)
+		if c.IsInf() {
+			f[len(v)+i] = 1
+		}
+	}
+	return f
+}
+
+// GCN is the trainable graph embedding network.
+type GCN struct {
+	m      int
+	layers int
+	win    *nn.Param // m × 2m
+	bin    *nn.Param // m
+	wself  []*nn.Param
+	wnbr   []*nn.Param
+	b      []*nn.Param
+
+	// caches from the most recent Forward, consumed by Backward
+	feats []tensor.Vec   // φ(v)
+	hs    [][]tensor.Vec // hs[l][v], l = 0..layers
+	msgs  [][]tensor.Vec // msgs[l][v], message into layer l+1
+}
+
+// New returns a GCN with the given number of message-passing layers for
+// m-color problems, Xavier-initialized from rng.
+func New(rng *rand.Rand, m, layers int) *GCN {
+	g := &GCN{m: m, layers: layers}
+	g.win = xavier(rng, "gcn.win", m, 2*m)
+	g.bin = &nn.Param{Name: "gcn.bin", W: tensor.NewVec(m), G: tensor.NewVec(m)}
+	for l := 0; l < layers; l++ {
+		g.wself = append(g.wself, xavier(rng, "gcn.wself", m, m))
+		g.wnbr = append(g.wnbr, xavier(rng, "gcn.wnbr", m, m))
+		g.b = append(g.b, &nn.Param{Name: "gcn.b", W: tensor.NewVec(m), G: tensor.NewVec(m)})
+	}
+	return g
+}
+
+func xavier(rng *rand.Rand, name string, out, in int) *nn.Param {
+	p := &nn.Param{Name: name, W: tensor.NewVec(out * in), G: tensor.NewVec(out * in)}
+	bound := math.Sqrt(6.0 / float64(in+out))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return p
+}
+
+// M returns the color count the network was built for.
+func (g *GCN) M() int { return g.m }
+
+// Layers returns the number of message-passing layers.
+func (g *GCN) Layers() int { return g.layers }
+
+// Params returns all trainable parameters.
+func (g *GCN) Params() []*nn.Param {
+	ps := []*nn.Param{g.win, g.bin}
+	for l := 0; l < g.layers; l++ {
+		ps = append(ps, g.wself[l], g.wnbr[l], g.b[l])
+	}
+	return ps
+}
+
+// Forward embeds every active vertex of view, returning the final
+// hidden vectors (one length-m vector per vertex). The caches needed by
+// Backward are retained until the next Forward.
+func (g *GCN) Forward(view View) []tensor.Vec {
+	n := view.N()
+	g.feats = make([]tensor.Vec, n)
+	g.hs = make([][]tensor.Vec, g.layers+1)
+	g.msgs = make([][]tensor.Vec, g.layers)
+	h0 := make([]tensor.Vec, n)
+	winM := &tensor.Mat{R: g.m, C: 2 * g.m, W: g.win.W}
+	for v := 0; v < n; v++ {
+		g.feats[v] = Featurize(view.Vec(v))
+		pre := winM.MulVec(g.feats[v])
+		pre.AddInPlace(g.bin.W)
+		h0[v] = tanhVec(pre)
+	}
+	g.hs[0] = h0
+	for l := 0; l < g.layers; l++ {
+		prev := g.hs[l]
+		next := make([]tensor.Vec, n)
+		msgs := make([]tensor.Vec, n)
+		wself := &tensor.Mat{R: g.m, C: g.m, W: g.wself[l].W}
+		wnbr := &tensor.Mat{R: g.m, C: g.m, W: g.wnbr[l].W}
+		for v := 0; v < n; v++ {
+			msg := tensor.NewVec(g.m)
+			nbrs := view.Nbrs(v)
+			for _, u := range nbrs {
+				view.Mat(v, u).AddMulVec(msg, prev[u])
+			}
+			if len(nbrs) > 0 {
+				msg.Scale(1 / float64(len(nbrs)))
+			}
+			msgs[v] = msg
+			pre := wself.MulVec(prev[v])
+			pre.AddInPlace(wnbr.MulVec(msg))
+			pre.AddInPlace(g.b[l].W)
+			next[v] = tanhVec(pre)
+		}
+		g.msgs[l] = msgs
+		g.hs[l+1] = next
+	}
+	return g.hs[g.layers]
+}
+
+// Backward accumulates parameter gradients given dL/dH for the final
+// hidden vectors returned by the most recent Forward over view.
+func (g *GCN) Backward(view View, dH []tensor.Vec) {
+	n := view.N()
+	grad := make([]tensor.Vec, n)
+	for v := 0; v < n; v++ {
+		grad[v] = dH[v].Clone()
+	}
+	for l := g.layers - 1; l >= 0; l-- {
+		prev := g.hs[l]
+		out := g.hs[l+1]
+		wself := &tensor.Mat{R: g.m, C: g.m, W: g.wself[l].W}
+		wnbr := &tensor.Mat{R: g.m, C: g.m, W: g.wnbr[l].W}
+		gwself := &tensor.Mat{R: g.m, C: g.m, W: g.wself[l].G}
+		gwnbr := &tensor.Mat{R: g.m, C: g.m, W: g.wnbr[l].G}
+		nextGrad := make([]tensor.Vec, n)
+		for v := 0; v < n; v++ {
+			nextGrad[v] = tensor.NewVec(g.m)
+		}
+		for v := 0; v < n; v++ {
+			dpre := grad[v].Clone()
+			for i := range dpre {
+				dpre[i] *= 1 - out[v][i]*out[v][i]
+			}
+			gwself.AddOuter(1, dpre, prev[v])
+			gwnbr.AddOuter(1, dpre, g.msgs[l][v])
+			g.b[l].G.AddInPlace(dpre)
+			nextGrad[v].AddInPlace(wself.MulTVec(dpre))
+			dmsg := wnbr.MulTVec(dpre)
+			nbrs := view.Nbrs(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			scale := 1 / float64(len(nbrs))
+			for _, u := range nbrs {
+				// d msg_v / d h_u = scale · M̃_vu, so the gradient
+				// flows back through M̃_vuᵀ = M̃_uv.
+				nextGrad[u].AddScaled(scale, view.Mat(u, v).MulVec(dmsg))
+			}
+		}
+		grad = nextGrad
+	}
+	gwin := &tensor.Mat{R: g.m, C: 2 * g.m, W: g.win.G}
+	for v := 0; v < n; v++ {
+		dpre := grad[v].Clone()
+		for i := range dpre {
+			dpre[i] *= 1 - g.hs[0][v][i]*g.hs[0][v][i]
+		}
+		gwin.AddOuter(1, dpre, g.feats[v])
+		g.bin.G.AddInPlace(dpre)
+	}
+}
+
+func tanhVec(x tensor.Vec) tensor.Vec {
+	y := make(tensor.Vec, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}

@@ -1,0 +1,57 @@
+package gcn
+
+import (
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/tensor"
+)
+
+// GraphView adapts a pbqp.Graph (its alive vertices, compacted to
+// [0, N)) to the View interface, caching transformed edge matrices.
+type GraphView struct {
+	g    *pbqp.Graph
+	ids  []int       // active index -> graph vertex
+	pos  map[int]int // graph vertex -> active index
+	nbrs [][]int
+	mats []map[int]*tensor.Mat
+}
+
+// NewGraphView builds a View over the alive vertices of g. The view
+// reads g's cost vectors lazily, so vector mutations are visible, but
+// structural changes (edge or vertex removal) are not.
+func NewGraphView(g *pbqp.Graph) *GraphView {
+	ids := g.Vertices()
+	pos := make(map[int]int, len(ids))
+	for i, u := range ids {
+		pos[u] = i
+	}
+	v := &GraphView{
+		g: g, ids: ids, pos: pos,
+		nbrs: make([][]int, len(ids)),
+		mats: make([]map[int]*tensor.Mat, len(ids)),
+	}
+	for i, u := range ids {
+		v.mats[i] = make(map[int]*tensor.Mat)
+		for _, w := range g.Neighbors(u) {
+			j := pos[w]
+			v.nbrs[i] = append(v.nbrs[i], j)
+			v.mats[i][j] = TransformMatrix(g.EdgeCost(u, w))
+		}
+	}
+	return v
+}
+
+// N implements View.
+func (v *GraphView) N() int { return len(v.ids) }
+
+// M implements View.
+func (v *GraphView) M() int { return v.g.M() }
+
+// Vec implements View.
+func (v *GraphView) Vec(i int) cost.Vector { return v.g.VertexCost(v.ids[i]) }
+
+// Nbrs implements View.
+func (v *GraphView) Nbrs(i int) []int { return v.nbrs[i] }
+
+// Mat implements View.
+func (v *GraphView) Mat(i, j int) *tensor.Mat { return v.mats[i][j] }

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds a valid if/else diamond function.
+func diamond() *Func {
+	return &Func{
+		Name:      "diamond",
+		NumValues: 6,
+		Params:    []Value{0, 1},
+		Blocks: []*Block{
+			{Name: "entry", Succs: []int{1, 2}, Instrs: []Instr{
+				{Op: OpCmp, Def: 2, Uses: []Value{0, 1}},
+				{Op: OpBranch, Uses: []Value{2}},
+			}},
+			{Name: "then", Succs: []int{3}, Instrs: []Instr{
+				{Op: OpArith, Def: 3, Uses: []Value{0}},
+			}},
+			{Name: "else", Succs: []int{3}, Instrs: []Instr{
+				{Op: OpArith, Def: 4, Uses: []Value{1}},
+			}},
+			{Name: "join", Instrs: []Instr{
+				{Op: OpMove, Def: 5, Uses: []Value{0}},
+				{Op: OpRet, Uses: []Value{5}},
+			}},
+		},
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBranchOnlyDefinition(t *testing.T) {
+	// v3 is defined only in the then-arm; using it at the join must fail
+	f := diamond()
+	f.Blocks[3].Instrs = append([]Instr{{Op: OpStore, Uses: []Value{3, 0}}}, f.Blocks[3].Instrs...)
+	if err := f.Validate(); err == nil {
+		t.Fatal("accepted a use of a conditionally defined value")
+	}
+}
+
+func TestValidateRejectsBadSuccessor(t *testing.T) {
+	f := diamond()
+	f.Blocks[1].Succs = []int{9}
+	if err := f.Validate(); err == nil {
+		t.Fatal("accepted out-of-range successor")
+	}
+}
+
+func TestValidateRejectsOutOfRangeValues(t *testing.T) {
+	f := diamond()
+	f.Blocks[1].Instrs = append(f.Blocks[1].Instrs, Instr{Op: OpArith, Def: 99, Uses: []Value{0}})
+	if err := f.Validate(); err == nil {
+		t.Fatal("accepted out-of-range def")
+	}
+	f = diamond()
+	f.Blocks[1].Instrs = append(f.Blocks[1].Instrs, Instr{Op: OpStore, Uses: []Value{42, 0}})
+	if err := f.Validate(); err == nil {
+		t.Fatal("accepted out-of-range use")
+	}
+}
+
+func TestValidateRejectsEmptyFunc(t *testing.T) {
+	if err := (&Func{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("accepted function with no blocks")
+	}
+}
+
+func TestValidateLoop(t *testing.T) {
+	// while loop: entry -> header <-> body, header -> exit
+	f := &Func{
+		Name:      "loop",
+		NumValues: 4,
+		Params:    []Value{0},
+		Blocks: []*Block{
+			{Name: "entry", Succs: []int{1}, Instrs: []Instr{
+				{Op: OpConst, Def: 1},
+			}},
+			{Name: "header", Succs: []int{2, 3}, LoopDepth: 1, Instrs: []Instr{
+				{Op: OpCmp, Def: 2, Uses: []Value{0, 1}},
+				{Op: OpBranch, Uses: []Value{2}},
+			}},
+			{Name: "body", Succs: []int{1}, LoopDepth: 1, Instrs: []Instr{
+				{Op: OpArith, Def: 3, Uses: []Value{1, 0}},
+				{Op: OpStore, Uses: []Value{3, 1}},
+			}},
+			{Name: "exit", Instrs: []Instr{
+				{Op: OpRet, Uses: []Value{1}},
+			}},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefValue(t *testing.T) {
+	if (Instr{Op: OpStore, Uses: []Value{1, 2}}).DefValue() != -1 {
+		t.Error("store should define nothing")
+	}
+	if (Instr{Op: OpBranch, Uses: []Value{1}}).DefValue() != -1 {
+		t.Error("branch should define nothing")
+	}
+	if (Instr{Op: OpRet}).DefValue() != -1 {
+		t.Error("ret should define nothing")
+	}
+	if (Instr{Op: OpArith, Def: 7}).DefValue() != 7 {
+		t.Error("arith def lost")
+	}
+}
+
+func TestStringListsBlocks(t *testing.T) {
+	s := diamond().String()
+	for _, want := range []string{"func diamond", "entry:", "then:", "join:", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	ops := map[Opcode]string{
+		OpConst: "const", OpArith: "arith", OpLoad: "load", OpStore: "store",
+		OpMove: "mov", OpCmp: "cmp", OpBranch: "br", OpCall: "call", OpRet: "ret",
+		Opcode(42): "op(42)",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Name: "p", Funcs: []*Func{diamond()}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Funcs = append(p.Funcs, &Func{Name: "bad"})
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted program with invalid function")
+	}
+}

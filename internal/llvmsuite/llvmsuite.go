@@ -1,0 +1,257 @@
+// Package llvmsuite provides the synthetic stand-in for the 24 C/C++
+// programs of llvm-test-suite used by the paper's Section V-C
+// evaluation. Each named benchmark deterministically expands to a small
+// ir.Program with structured control flow (nested loops and branches up
+// to depth 3), a realistic opcode mix including coalescable moves, and
+// register-class restrictions on a minority of values — the features
+// that exercise a register allocator.
+//
+// Real llvm-test-suite sources require clang and LLVM; this generator
+// produces IR with the same allocation-relevant structure so the
+// allocator comparison (FAST/BASIC/GREEDY/PBQP/PBQP-RL) runs the same
+// code paths. Program names follow the Stanford/McGill suites, including
+// Oscar and FloatMM, the two cost-sum outliers discussed in the paper.
+package llvmsuite
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"pbqprl/internal/ir"
+)
+
+// Names lists the 24 benchmark programs.
+var Names = []string{
+	"Bubblesort", "FloatMM", "IntMM", "Oscar", "Perm", "Puzzle",
+	"Queens", "Quicksort", "RealMM", "Towers", "Treesort",
+	"chomp", "misr", "exptree", "ackermann", "ary3", "fib2",
+	"hash", "heapsort", "lists", "matrix", "nestedloop", "random", "sieve",
+}
+
+// Bench is one benchmark program with its per-function register-class
+// restrictions (Allowed[f][v] = permitted registers of value v in
+// function f; nil = any).
+type Bench struct {
+	Prog    *ir.Program
+	Allowed [][][]int
+}
+
+// All generates every benchmark.
+func All() []Bench {
+	out := make([]Bench, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, Generate(n))
+	}
+	return out
+}
+
+// Generate deterministically builds the named benchmark.
+func Generate(name string) Bench {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64() % (1 << 62))))
+	nfuncs := 1 + rng.Intn(2)
+	prog := &ir.Program{Name: name}
+	allowed := make([][][]int, 0, nfuncs)
+	for i := 0; i < nfuncs; i++ {
+		size := 50 + rng.Intn(90)
+		f, al := genFunc(fmt.Sprintf("%s_f%d", name, i), rng, size)
+		prog.Funcs = append(prog.Funcs, f)
+		allowed = append(allowed, al)
+	}
+	return Bench{Prog: prog, Allowed: allowed}
+}
+
+// builder holds generation state for one function.
+type builder struct {
+	f    *ir.Func
+	rng  *rand.Rand
+	cur  int // current block index
+	next ir.Value
+}
+
+func (b *builder) newBlock(depth int) int {
+	idx := len(b.f.Blocks)
+	b.f.Blocks = append(b.f.Blocks, &ir.Block{
+		Name:      fmt.Sprintf("b%d", idx),
+		LoopDepth: depth,
+	})
+	return idx
+}
+
+func (b *builder) block() *ir.Block { return b.f.Blocks[b.cur] }
+
+func (b *builder) def() ir.Value {
+	v := b.next
+	b.next++
+	return v
+}
+
+func (b *builder) pick(avail []ir.Value) ir.Value {
+	return avail[b.rng.Intn(len(avail))]
+}
+
+// emitRun appends 3–8 straight-line instructions to the current block,
+// extending avail with the new definitions (they dominate everything
+// that follows in this scope).
+func (b *builder) emitRun(avail *[]ir.Value) {
+	n := 3 + b.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch b.rng.Intn(10) {
+		case 0, 1:
+			v := b.def()
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpConst, Def: v})
+			*avail = append(*avail, v)
+		case 2, 3, 4:
+			v := b.def()
+			uses := []ir.Value{b.pick(*avail)}
+			if b.rng.Intn(2) == 0 {
+				uses = append(uses, b.pick(*avail))
+			}
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpArith, Def: v, Uses: uses})
+			*avail = append(*avail, v)
+		case 5:
+			v := b.def()
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpLoad, Def: v, Uses: []ir.Value{b.pick(*avail)}})
+			*avail = append(*avail, v)
+		case 6:
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpStore, Uses: []ir.Value{b.pick(*avail), b.pick(*avail)}})
+		case 7:
+			v := b.def()
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpMove, Def: v, Uses: []ir.Value{b.pick(*avail)}})
+			*avail = append(*avail, v)
+		case 8:
+			v := b.def()
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpCmp, Def: v, Uses: []ir.Value{b.pick(*avail), b.pick(*avail)}})
+			*avail = append(*avail, v)
+		default:
+			v := b.def()
+			var uses []ir.Value
+			for k := b.rng.Intn(3); k > 0; k-- {
+				uses = append(uses, b.pick(*avail))
+			}
+			b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpCall, Def: v, Uses: uses})
+			*avail = append(*avail, v)
+		}
+	}
+}
+
+// emitCond appends a compare and conditional branch to the current
+// block, wiring succs later.
+func (b *builder) emitCond(avail []ir.Value) {
+	c := b.def()
+	b.block().Instrs = append(b.block().Instrs,
+		ir.Instr{Op: ir.OpCmp, Def: c, Uses: []ir.Value{b.pick(avail), b.pick(avail)}},
+		ir.Instr{Op: ir.OpBranch, Uses: []ir.Value{c}})
+}
+
+// genScope emits `budget` constructs into the current scope. Values
+// defined by straight-line runs join avail (they dominate the rest of
+// the scope); values defined inside branches or loop bodies do not
+// escape.
+func (b *builder) genScope(avail []ir.Value, depth, budget int) {
+	for i := 0; i < budget; i++ {
+		switch {
+		case depth < 3 && b.rng.Intn(4) == 0:
+			b.genLoop(avail, depth)
+		case b.rng.Intn(3) == 0:
+			b.genIf(avail, depth)
+		default:
+			b.emitRun(&avail)
+		}
+	}
+	b.emitRun(&avail)
+}
+
+// genIf builds if/else diamonds: cond in the current block, two arms,
+// one join block that becomes current.
+func (b *builder) genIf(avail []ir.Value, depth int) {
+	b.emitCond(avail)
+	condBlk := b.cur
+	thenBlk := b.newBlock(depth)
+	elseBlk := b.newBlock(depth)
+	b.f.Blocks[condBlk].Succs = []int{thenBlk, elseBlk}
+
+	b.cur = thenBlk
+	armAvail := append([]ir.Value(nil), avail...)
+	b.genArm(armAvail, depth)
+	thenExit := b.cur
+
+	b.cur = elseBlk
+	armAvail = append([]ir.Value(nil), avail...)
+	b.genArm(armAvail, depth)
+	elseExit := b.cur
+
+	join := b.newBlock(depth)
+	b.f.Blocks[thenExit].Succs = append(b.f.Blocks[thenExit].Succs, join)
+	b.f.Blocks[elseExit].Succs = append(b.f.Blocks[elseExit].Succs, join)
+	b.cur = join
+}
+
+// genArm fills one branch arm with a run and, occasionally, a nested
+// construct.
+func (b *builder) genArm(avail []ir.Value, depth int) {
+	b.emitRun(&avail)
+	if depth < 3 && b.rng.Intn(3) == 0 {
+		b.genLoop(avail, depth)
+	}
+}
+
+// genLoop builds a while-style natural loop: a header with the exit
+// condition, a body at depth+1 that loops back to the header, and an
+// exit block that becomes current.
+func (b *builder) genLoop(avail []ir.Value, depth int) {
+	header := b.newBlock(depth + 1)
+	b.f.Blocks[b.cur].Succs = append(b.f.Blocks[b.cur].Succs, header)
+	b.cur = header
+	headerAvail := append([]ir.Value(nil), avail...)
+	b.emitRun(&headerAvail)
+	b.emitCond(headerAvail)
+
+	body := b.newBlock(depth + 1)
+	exit := b.newBlock(depth)
+	b.f.Blocks[header].Succs = []int{body, exit}
+
+	b.cur = body
+	bodyAvail := append([]ir.Value(nil), headerAvail...)
+	b.emitRun(&bodyAvail)
+	if depth+1 < 3 && b.rng.Intn(3) == 0 {
+		b.genIf(bodyAvail, depth+1)
+	}
+	b.f.Blocks[b.cur].Succs = append(b.f.Blocks[b.cur].Succs, header)
+
+	b.cur = exit
+	// header definitions execute at least once before the exit branch,
+	// so headerAvail values dominate the exit; keep avail unchanged to
+	// stay conservative (and obviously correct).
+}
+
+// genFunc builds one function of roughly `size` instructions and its
+// register-class restriction table.
+func genFunc(name string, rng *rand.Rand, size int) (*ir.Func, [][]int) {
+	b := &builder{f: &ir.Func{Name: name}, rng: rng}
+	entry := b.newBlock(0)
+	b.cur = entry
+	nparams := 2 + rng.Intn(3)
+	for i := 0; i < nparams; i++ {
+		b.f.Params = append(b.f.Params, b.def())
+	}
+	avail := append([]ir.Value(nil), b.f.Params...)
+	budget := size / 12
+	if budget < 3 {
+		budget = 3
+	}
+	b.genScope(avail, 0, budget)
+	// return something that is definitely defined: a parameter
+	b.block().Instrs = append(b.block().Instrs, ir.Instr{Op: ir.OpRet, Uses: []ir.Value{b.f.Params[0]}})
+	b.f.NumValues = int(b.next)
+
+	allowed := make([][]int, b.f.NumValues)
+	for v := range allowed {
+		if rng.Float64() < 0.2 {
+			allowed[v] = []int{0, 1, 2, 3} // "byte class" restriction
+		}
+	}
+	return b.f, allowed
+}

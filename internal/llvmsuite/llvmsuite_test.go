@@ -1,0 +1,105 @@
+package llvmsuite
+
+import (
+	"testing"
+
+	"pbqprl/internal/ir"
+)
+
+func TestAllBenchmarksValid(t *testing.T) {
+	benches := All()
+	if len(benches) != 24 {
+		t.Fatalf("suite has %d programs, want 24", len(benches))
+	}
+	for _, b := range benches {
+		if err := b.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Prog.Name, err)
+		}
+		if len(b.Allowed) != len(b.Prog.Funcs) {
+			t.Errorf("%s: allowed tables mismatch", b.Prog.Name)
+		}
+		for i, f := range b.Prog.Funcs {
+			if len(b.Allowed[i]) != f.NumValues {
+				t.Errorf("%s/%s: allowed covers %d of %d values", b.Prog.Name, f.Name, len(b.Allowed[i]), f.NumValues)
+			}
+		}
+	}
+}
+
+func TestOscarAndFloatMMPresent(t *testing.T) {
+	found := map[string]bool{}
+	for _, n := range Names {
+		found[n] = true
+	}
+	if !found["Oscar"] || !found["FloatMM"] {
+		t.Error("paper outlier benchmarks missing")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := Generate("Oscar"), Generate("Oscar")
+	if a.Prog.Funcs[0].String() != b.Prog.Funcs[0].String() {
+		t.Error("generation not deterministic")
+	}
+	c := Generate("FloatMM")
+	if a.Prog.Funcs[0].String() == c.Prog.Funcs[0].String() {
+		t.Error("different benchmarks identical")
+	}
+}
+
+func TestProgramsHaveLoopsAndBranches(t *testing.T) {
+	loops, branches, moves := 0, 0, 0
+	for _, b := range All() {
+		for _, f := range b.Prog.Funcs {
+			for _, blk := range f.Blocks {
+				if blk.LoopDepth > 0 {
+					loops++
+				}
+				if len(blk.Succs) == 2 {
+					branches++
+				}
+				for _, in := range blk.Instrs {
+					if in.Op == ir.OpMove {
+						moves++
+					}
+				}
+			}
+		}
+	}
+	if loops == 0 || branches == 0 || moves == 0 {
+		t.Errorf("suite lacks structure: loops=%d branches=%d moves=%d", loops, branches, moves)
+	}
+}
+
+func TestSizesInRange(t *testing.T) {
+	for _, b := range All() {
+		total := 0
+		for _, f := range b.Prog.Funcs {
+			if f.NumValues < 20 {
+				t.Errorf("%s/%s has only %d values", b.Prog.Name, f.Name, f.NumValues)
+			}
+			total += f.NumValues
+		}
+		if total > 2500 {
+			t.Errorf("%s is implausibly large: %d values", b.Prog.Name, total)
+		}
+	}
+}
+
+func TestClassRestrictedMinority(t *testing.T) {
+	restricted, total := 0, 0
+	for _, b := range All() {
+		for _, al := range b.Allowed {
+			for _, a := range al {
+				total++
+				if a != nil {
+					restricted++
+				}
+			}
+		}
+	}
+	ratio := float64(restricted) / float64(total)
+	if ratio < 0.1 || ratio > 0.35 {
+		t.Errorf("restricted ratio %.2f, want near 0.2", ratio)
+	}
+}

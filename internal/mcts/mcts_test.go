@@ -1,0 +1,249 @@
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/game"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/tensor"
+)
+
+func fig2Graph() *pbqp.Graph {
+	g := pbqp.New(3, 2)
+	g.SetVertexCost(0, cost.Vector{5, 2})
+	g.SetVertexCost(1, cost.Vector{5, 0})
+	g.SetVertexCost(2, cost.Vector{0, 0})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{{1, 3}, {7, 8}}))
+	g.SetEdgeCost(1, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 4}, {9, 6}}))
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 2}, {5, 3}}))
+	return g
+}
+
+func TestPolicySumsToOne(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	st.SetBaseline(24)
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 30)
+	pi := tree.Policy()
+	sum := 0.0
+	for _, v := range pi {
+		if v < 0 {
+			t.Fatalf("negative policy %v", pi)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("policy sum = %v", sum)
+	}
+}
+
+func TestFindsOptimalMoveOnFig2(t *testing.T) {
+	// with baseline 12 only cost-11 colorings win; MCTS with enough
+	// simulations must prefer color 0 at the first vertex.
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	st.SetBaseline(12)
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 200)
+	pi := tree.Policy()
+	if pi[0] <= pi[1] {
+		t.Errorf("policy prefers suboptimal color: %v", pi)
+	}
+}
+
+func TestNodesCountExpansionsOnly(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 100)
+	// complete tree for n=3, m=2 has 1+2+4+8 = 15 states; terminal
+	// revisits must not inflate the count
+	if tree.Nodes() > 15 {
+		t.Errorf("nodes = %d, want <= 15", tree.Nodes())
+	}
+	if tree.Nodes() < 7 {
+		t.Errorf("nodes = %d, implausibly low after 100 simulations", tree.Nodes())
+	}
+}
+
+func TestStateRestoredAfterRun(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 50)
+	if st.Turn() != 0 || st.Acc() != 0 {
+		t.Errorf("state mutated: turn=%d acc=%v", st.Turn(), st.Acc())
+	}
+}
+
+func TestAdvanceReusesSubtree(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 50)
+	before := tree.Nodes()
+	st.Play(0)
+	tree.Advance(0)
+	// the advanced root was already expanded; one more run only adds
+	// new leaves below it
+	tree.Run(st, 10)
+	if tree.Nodes() == before+11 {
+		t.Error("no subtree reuse: every simulation expanded a node")
+	}
+	pi := tree.Policy()
+	if len(pi) != 2 {
+		t.Fatalf("policy len = %d", len(pi))
+	}
+}
+
+func TestBackReturnsToParent(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 20)
+	rootPi := tree.Policy()
+	st.Play(1)
+	tree.Advance(1)
+	tree.Run(st, 5)
+	st.Undo()
+	tree.Back()
+	pi := tree.Policy()
+	for i := range pi {
+		if math.Abs(pi[i]-rootPi[i]) > 0.5 {
+			t.Errorf("policy wildly different after Back: %v vs %v", pi, rootPi)
+		}
+	}
+}
+
+func TestBackAtRootPanics(t *testing.T) {
+	tree := New(Uniform{}, 2, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.Back()
+}
+
+func TestDisableRootAction(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 50)
+	tree.DisableRootAction(0)
+	pi := tree.Policy()
+	if pi[0] != 0 {
+		t.Errorf("disabled action has probability %v", pi[0])
+	}
+	if pi[1] == 0 {
+		t.Error("remaining action lost probability")
+	}
+	if !tree.RootHasMove() {
+		t.Error("RootHasMove false with one action left")
+	}
+	tree.DisableRootAction(1)
+	if tree.RootHasMove() {
+		t.Error("RootHasMove true with all actions disabled")
+	}
+	// further simulations must not crash
+	tree.Run(st, 5)
+}
+
+func TestIllegalColorsNeverSelected(t *testing.T) {
+	g := pbqp.New(2, 3)
+	g.SetVertexCost(0, cost.Vector{cost.Inf, 0, cost.Inf})
+	g.SetVertexCost(1, cost.Vector{0, 0, 0})
+	st := game.New(g, []int{0, 1})
+	tree := New(Uniform{}, 3, Config{})
+	tree.Run(st, 40)
+	pi := tree.Policy()
+	if pi[0] != 0 || pi[2] != 0 {
+		t.Errorf("illegal colors got probability: %v", pi)
+	}
+	if math.Abs(pi[1]-1) > 1e-9 {
+		t.Errorf("legal color probability = %v", pi[1])
+	}
+}
+
+func TestDeadEndsPropagateLoss(t *testing.T) {
+	// vertex 0 colored with color 0 kills vertex 1 (its only finite
+	// color conflicts); MCTS must learn to prefer color 1.
+	g := pbqp.New(2, 2)
+	g.SetVertexCost(0, cost.Vector{0, 0})
+	g.SetVertexCost(1, cost.Vector{0, cost.Inf})
+	mat := cost.NewMatrix(2, 2)
+	mat.Set(0, 0, cost.Inf) // (v0=0, v1=0) forbidden
+	g.SetEdgeCost(0, 1, mat)
+	st := game.New(g, []int{0, 1})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 100)
+	pi := tree.Policy()
+	if pi[1] <= pi[0] {
+		t.Errorf("policy did not avoid the dead end: %v", pi)
+	}
+}
+
+// valueBiasedEval gives a high prior to a fixed color, to test that the
+// prior steers early exploration.
+type valueBiasedEval struct{ favorite int }
+
+func (e valueBiasedEval) Evaluate(view gcn.View) (tensor.Vec, float64) {
+	vec := view.Vec(0)
+	prior := make(tensor.Vec, len(vec))
+	for i, c := range vec {
+		if !c.IsInf() {
+			prior[i] = 0.05
+		}
+	}
+	if !vec[e.favorite].IsInf() {
+		prior[e.favorite] = 1
+	}
+	// unnormalized is fine for the UCB term
+	return prior, 0
+}
+
+func TestPriorSteersFirstSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 6, M: 4, PEdge: 0.4, PInf: 0})
+	st := game.New(g, game.MakeOrder(g, game.OrderFixed, nil))
+	tree := New(valueBiasedEval{favorite: 2}, 4, Config{})
+	tree.Run(st, 2) // root expansion + one selection
+	pi := tree.Policy()
+	if pi[2] != 1 {
+		t.Errorf("first simulation did not follow the prior: %v", pi)
+	}
+}
+
+func TestPolicyBeforeRunIsZero(t *testing.T) {
+	tree := New(Uniform{}, 3, Config{})
+	pi := tree.Policy()
+	for _, v := range pi {
+		if v != 0 {
+			t.Errorf("policy before Run = %v", pi)
+		}
+	}
+}
+
+func TestUniformEvaluator(t *testing.T) {
+	g := pbqp.New(1, 4)
+	g.SetVertexCost(0, cost.Vector{0, cost.Inf, 0, cost.Inf})
+	prior, v := Uniform{}.Evaluate(gcn.NewGraphView(g))
+	if prior[0] != 0.5 || prior[2] != 0.5 || prior[1] != 0 || prior[3] != 0 {
+		t.Errorf("uniform prior = %v", prior)
+	}
+	if v != 0 {
+		t.Errorf("uniform value = %v", v)
+	}
+	g2 := pbqp.New(1, 2)
+	g2.SetVertexCost(0, cost.NewInfVector(2))
+	_, v = Uniform{}.Evaluate(gcn.NewGraphView(g2))
+	if v != -1 {
+		t.Errorf("dead-end uniform value = %v", v)
+	}
+}

@@ -1,0 +1,81 @@
+package mcts
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AddRootNoise mixes Dirichlet(alpha) noise into the root prior over
+// the currently open actions: p ← (1−frac)·p + frac·η, the AlphaZero
+// self-play exploration mechanism. It is a no-op on an unexpanded or
+// terminal root. Typical values: alpha 0.3–1.0, frac 0.25.
+func (t *Tree) AddRootNoise(rng *rand.Rand, alpha, frac float64) {
+	nd := t.root
+	if !nd.expanded || nd.terminal {
+		return
+	}
+	var open []int
+	for a := 0; a < t.m; a++ {
+		if nd.actionOpen(a) {
+			open = append(open, a)
+		}
+	}
+	if len(open) < 2 {
+		return
+	}
+	noise := dirichlet(rng, alpha, len(open))
+	for i, a := range open {
+		nd.prior[a] = (1-frac)*nd.prior[a] + frac*noise[i]
+	}
+}
+
+// dirichlet samples a Dirichlet(alpha, ..., alpha) vector of length n
+// by normalizing Gamma(alpha, 1) draws.
+func dirichlet(rng *rand.Rand, alpha float64, n int) []float64 {
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang
+// method (with the standard boost for shape < 1).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a)
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-300
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/game"
+	"pbqprl/internal/randgraph"
+)
+
+func TestGammaSamplePositiveAndMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []float64{0.3, 0.5, 1, 2, 5} {
+		sum := 0.0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			x := gammaSample(rng, shape)
+			if x <= 0 || math.IsNaN(x) {
+				t.Fatalf("shape %v: sample %v", shape, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Errorf("shape %v: mean %v, want ≈ shape", shape, mean)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		d := dirichlet(rng, 0.5, 5)
+		sum := 0.0
+		for _, x := range d {
+			if x < 0 {
+				t.Fatal("negative component")
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sum = %v", sum)
+		}
+	}
+}
+
+func TestAddRootNoisePerturbsOnlyOpenActions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 6, M: 4, PEdge: 0.4, PInf: 0})
+	st := game.New(g, game.MakeOrder(g, game.OrderFixed, nil))
+	tree := New(Uniform{}, 4, Config{})
+	tree.Run(st, 10)
+	before := tree.RootPrior().Clone()
+	tree.DisableRootAction(2)
+	tree.AddRootNoise(rng, 0.5, 0.25)
+	after := tree.RootPrior()
+	if after[2] != before[2] {
+		t.Error("disabled action's prior changed")
+	}
+	changed := false
+	sum := 0.0
+	for a, p := range after {
+		if a != 2 && p != before[a] {
+			changed = true
+		}
+		if a != 2 {
+			sum += p
+		}
+	}
+	if !changed {
+		t.Error("noise changed nothing")
+	}
+	if sum <= 0 {
+		t.Error("priors vanished")
+	}
+}
+
+func TestAddRootNoiseNoopOnUnexpandedRoot(t *testing.T) {
+	tree := New(Uniform{}, 3, Config{})
+	tree.AddRootNoise(rand.New(rand.NewSource(4)), 0.5, 0.25) // must not panic
+}

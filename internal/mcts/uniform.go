@@ -1,0 +1,34 @@
+package mcts
+
+import (
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/tensor"
+)
+
+// Uniform is an Evaluator with a uniform prior over legal colors and a
+// zero value estimate: MCTS guided by it degenerates to plain UCT. It
+// serves as the untrained-network baseline and keeps tests independent
+// of the neural network.
+type Uniform struct{}
+
+// Evaluate implements Evaluator.
+func (Uniform) Evaluate(view gcn.View) (tensor.Vec, float64) {
+	vec := view.Vec(0)
+	prior := make(tensor.Vec, len(vec))
+	n := 0
+	for _, c := range vec {
+		if !c.IsInf() {
+			n++
+		}
+	}
+	if n == 0 {
+		return prior, -1
+	}
+	p := 1 / float64(n)
+	for i, c := range vec {
+		if !c.IsInf() {
+			prior[i] = p
+		}
+	}
+	return prior, 0
+}

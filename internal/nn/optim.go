@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math"
+
+	"pbqprl/internal/tensor"
+)
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	// Step updates every parameter from its accumulated gradient and
+	// clears the gradients.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]tensor.Vec
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]tensor.Vec)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			p.W.AddScaled(-s.LR, p.G)
+		} else {
+			v, ok := s.vel[p]
+			if !ok {
+				v = tensor.NewVec(len(p.W))
+				s.vel[p] = v
+			}
+			for i := range v {
+				v[i] = s.Momentum*v[i] + p.G[i]
+				p.W[i] -= s.LR * v[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015), the paper's choice for
+// training the networks.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]tensor.Vec
+}
+
+// NewAdam returns an Adam optimizer with the standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]tensor.Vec), v: make(map[*Param]tensor.Vec),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.NewVec(len(p.W))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.NewVec(len(p.W))
+			a.v[p] = v
+		}
+		for i, g := range p.G {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pbqprl/internal/tensor"
+)
+
+// Stateful is implemented by modules with non-trainable state that must
+// survive checkpointing (BatchNorm running statistics).
+type Stateful interface {
+	// StateVecs returns the state tensors; they are serialized and
+	// restored in place, in order.
+	StateVecs() []tensor.Vec
+}
+
+// StateVecs implements Stateful for BatchNorm.
+func (bn *BatchNorm) StateVecs() []tensor.Vec { return []tensor.Vec{bn.mean, bn.vari} }
+
+// Visit calls f on m and, recursively, on every submodule of Sequential
+// and Residual containers, in definition order.
+func Visit(m Module, f func(Module)) {
+	f(m)
+	switch t := m.(type) {
+	case *Sequential:
+		for _, sub := range t.mods {
+			Visit(sub, f)
+		}
+	case *Residual:
+		Visit(t.body, f)
+	}
+}
+
+// snapshot is the serialized form of a module's tensors.
+type snapshot struct {
+	Params [][]float64
+	State  [][]float64
+}
+
+// Collect gathers a module's parameter and state tensors in
+// deterministic order, for callers that compose Modules with non-Module
+// components (the GCN) and serialize everything themselves.
+func Collect(m Module) (params, state []tensor.Vec) { return collect(m) }
+
+// SaveTensors serializes an ordered list of tensors.
+func SaveTensors(w io.Writer, tensors []tensor.Vec) error {
+	snap := snapshot{}
+	for _, t := range tensors {
+		snap.Params = append(snap.Params, t)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadTensors restores tensors saved by SaveTensors, in order, in place.
+func LoadTensors(r io.Reader, tensors []tensor.Vec) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	if len(snap.Params) != len(tensors) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, want %d", len(snap.Params), len(tensors))
+	}
+	for i, t := range tensors {
+		if len(snap.Params[i]) != len(t) {
+			return fmt.Errorf("nn: tensor %d has length %d, want %d", i, len(snap.Params[i]), len(t))
+		}
+		copy(t, snap.Params[i])
+	}
+	return nil
+}
+
+// collect gathers parameter and state tensors in deterministic order.
+func collect(m Module) (params, state []tensor.Vec) {
+	Visit(m, func(sub Module) {
+		switch t := sub.(type) {
+		case *Sequential, *Residual:
+			// containers contribute via their children
+		default:
+			for _, p := range t.Params() {
+				params = append(params, p.W)
+			}
+			if s, ok := t.(Stateful); ok {
+				state = append(state, s.StateVecs()...)
+			}
+		}
+	})
+	return params, state
+}
+
+// Save serializes every parameter and state tensor of m.
+func Save(w io.Writer, m Module) error {
+	params, state := collect(m)
+	snap := snapshot{}
+	for _, p := range params {
+		snap.Params = append(snap.Params, p)
+	}
+	for _, s := range state {
+		snap.State = append(snap.State, s)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores tensors saved by Save into an identically structured
+// module. It fails if the architecture (tensor counts or shapes) differs.
+func Load(r io.Reader, m Module) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode checkpoint: %w", err)
+	}
+	params, state := collect(m)
+	if len(snap.Params) != len(params) || len(snap.State) != len(state) {
+		return fmt.Errorf("nn: checkpoint has %d/%d tensors, module wants %d/%d",
+			len(snap.Params), len(snap.State), len(params), len(state))
+	}
+	for i, p := range params {
+		if len(snap.Params[i]) != len(p) {
+			return fmt.Errorf("nn: parameter %d has length %d, want %d", i, len(snap.Params[i]), len(p))
+		}
+		copy(p, snap.Params[i])
+	}
+	for i, s := range state {
+		if len(snap.State[i]) != len(s) {
+			return fmt.Errorf("nn: state %d has length %d, want %d", i, len(snap.State[i]), len(s))
+		}
+		copy(s, snap.State[i])
+	}
+	return nil
+}
+
+// CopyInto copies every parameter and state tensor of src into dst,
+// which must have the identical architecture. It is how the self-play
+// trainer clones the current network into the best network.
+func CopyInto(dst, src Module) error {
+	sp, ss := collect(src)
+	dp, ds := collect(dst)
+	if len(sp) != len(dp) || len(ss) != len(ds) {
+		return fmt.Errorf("nn: architecture mismatch: %d/%d vs %d/%d tensors", len(sp), len(ss), len(dp), len(ds))
+	}
+	for i := range sp {
+		if len(sp[i]) != len(dp[i]) {
+			return fmt.Errorf("nn: parameter %d shape mismatch", i)
+		}
+		copy(dp[i], sp[i])
+	}
+	for i := range ss {
+		if len(ss[i]) != len(ds[i]) {
+			return fmt.Errorf("nn: state %d shape mismatch", i)
+		}
+		copy(ds[i], ss[i])
+	}
+	return nil
+}

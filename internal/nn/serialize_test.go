@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/tensor"
+)
+
+func buildNet(seed int64) Module {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential(
+		NewDense(rng, 3, 8), NewBatchNorm(8), &ReLU{},
+		NewResidual(NewSequential(NewDense(rng, 8, 8), &Tanh{})),
+		NewDense(rng, 8, 2),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := buildNet(1)
+	// touch batchnorm stats so state serialization is exercised
+	SetTraining(src, true)
+	src.Forward(tensor.Vec{1, -2, 3})
+	SetTraining(src, false)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildNet(2) // different init
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vec{0.5, 0.25, -1}
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ after load: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, buildNet(1)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	other := NewSequential(NewDense(rng, 3, 4))
+	if err := Load(&buf, other); err == nil {
+		t.Error("Load accepted a mismatched architecture")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if err := Load(bytes.NewReader([]byte("not a checkpoint")), buildNet(1)); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	src, dst := buildNet(4), buildNet(5)
+	SetTraining(src, true)
+	src.Forward(tensor.Vec{2, 2, 2})
+	SetTraining(src, false)
+	if err := CopyInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vec{-1, 0, 1}
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ after CopyInto")
+		}
+	}
+	// mutating dst must not affect src
+	dst.Params()[0].W[0] += 1
+	if src.Params()[0].W[0] == dst.Params()[0].W[0] {
+		t.Error("CopyInto aliased parameters")
+	}
+}
+
+func TestCopyIntoRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if err := CopyInto(NewSequential(NewDense(rng, 2, 2)), buildNet(1)); err == nil {
+		t.Error("CopyInto accepted mismatched architectures")
+	}
+}

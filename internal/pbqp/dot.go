@@ -1,0 +1,41 @@
+package pbqp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pbqprl/internal/cost"
+)
+
+// WriteDOT renders g in Graphviz DOT form for visualization: one node
+// per alive vertex labeled with its cost vector (liberty highlighted),
+// one edge per cost matrix. Matrices render as a compact summary — the
+// count of infinite entries and the finite minimum — because full m×m
+// tables are unreadable at register-allocation sizes.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+	for _, u := range g.Vertices() {
+		vec := g.VertexCost(u)
+		fmt.Fprintf(bw, "  v%d [label=\"v%d %s\\nliberty %d/%d\"];\n",
+			u, u, vec, vec.Liberty(), g.M())
+	}
+	for _, e := range g.Edges() {
+		inf := 0
+		for _, c := range e.M.Data {
+			if c.IsInf() {
+				inf++
+			}
+		}
+		minC, _ := cost.Vector(e.M.Data).Min()
+		label := fmt.Sprintf("%d inf", inf)
+		if minC != 0 && !minC.IsInf() {
+			label += fmt.Sprintf(", min %s", minC)
+		}
+		fmt.Fprintf(bw, "  v%d -- v%d [label=%q];\n", e.U, e.V, label)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

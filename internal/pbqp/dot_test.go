@@ -1,0 +1,39 @@
+package pbqp
+
+import (
+	"strings"
+	"testing"
+
+	"pbqprl/internal/cost"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3, 2)
+	g.SetVertexCost(0, cost.Vector{5, cost.Inf})
+	mat := cost.NewMatrix(2, 2)
+	mat.Set(0, 0, cost.Inf)
+	mat.Set(1, 1, 3)
+	g.SetEdgeCost(0, 1, mat)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "test"`, "v0", "v1", "v2", "liberty 1/2", "v0 -- v1", "1 inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTSkipsDeadVertices(t *testing.T) {
+	g := New(2, 2)
+	g.RemoveVertex(0)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "v0 [") {
+		t.Error("dead vertex rendered")
+	}
+}

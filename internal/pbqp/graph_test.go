@@ -1,0 +1,355 @@
+package pbqp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pbqprl/internal/cost"
+)
+
+// fig2Graph builds the 3-vertex, 2-color example from Figure 2 of the
+// paper: a triangle where selection (colors 2,2,1 one-based) costs
+// (2+0+0)+(8+9+5) = 24 and selection (1,1,1) is optimal at
+// (5+5+0)+(1+0+0) = 11.
+func fig2Graph() *Graph {
+	g := New(3, 2)
+	g.SetVertexCost(0, cost.Vector{5, 2})
+	g.SetVertexCost(1, cost.Vector{5, 0})
+	g.SetVertexCost(2, cost.Vector{0, 0})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{{1, 3}, {7, 8}}))
+	g.SetEdgeCost(1, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 4}, {9, 6}}))
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 2}, {5, 3}}))
+	return g
+}
+
+func TestFig2TotalCost(t *testing.T) {
+	g := fig2Graph()
+	if got := g.TotalCost(Selection{1, 1, 0}); got != 24 {
+		t.Errorf("cost(1,1,0) = %v, want 24", got)
+	}
+	if got := g.TotalCost(Selection{0, 0, 0}); got != 11 {
+		t.Errorf("cost(0,0,0) = %v, want 11", got)
+	}
+}
+
+func TestEdgeOrientation(t *testing.T) {
+	g := New(2, 2)
+	mat := cost.NewMatrixFrom([][]cost.Cost{{1, 2}, {3, 4}})
+	g.SetEdgeCost(0, 1, mat)
+	if got := g.EdgeCost(0, 1).At(0, 1); got != 2 {
+		t.Errorf("EdgeCost(0,1)[0,1] = %v, want 2", got)
+	}
+	if got := g.EdgeCost(1, 0).At(1, 0); got != 2 {
+		t.Errorf("EdgeCost(1,0)[1,0] = %v, want 2", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeCostMerges(t *testing.T) {
+	g := New(2, 2)
+	m1 := cost.NewMatrixFrom([][]cost.Cost{{1, 0}, {0, 0}})
+	g.AddEdgeCost(0, 1, m1)
+	g.AddEdgeCost(1, 0, cost.NewMatrixFrom([][]cost.Cost{{0, 10}, {0, 0}}))
+	// second add is oriented from vertex 1, so entry (1's color 0, 0's
+	// color 1) = 10, i.e. (0's color 1, 1's color 0) in canonical form.
+	e := g.EdgeCost(0, 1)
+	if e.At(0, 0) != 1 || e.At(1, 0) != 10 {
+		t.Errorf("merged edge = %v", e)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorVertexTransition(t *testing.T) {
+	// Figure 3 of the paper: coloring vertex 0 with color a folds row a
+	// of each incident matrix into the neighbors and detaches vertex 0.
+	g := fig2Graph()
+	own := g.ColorVertex(0, 1) // color 2 in the paper's 1-based naming
+	if own != 2 {
+		t.Errorf("own cost = %v, want 2", own)
+	}
+	if g.Alive(0) || g.AliveCount() != 2 {
+		t.Error("vertex 0 not detached")
+	}
+	// vertex 1's vector gains row 1 of edge (0,1): (7,8)
+	want := cost.Vector{5 + 7, 0 + 8}
+	if !g.VertexCost(1).Equal(want) {
+		t.Errorf("vertex 1 vector = %v, want %v", g.VertexCost(1), want)
+	}
+	// equivalence: cost of reduced graph + own == cost of original
+	orig := fig2Graph()
+	for s1 := 0; s1 < 2; s1++ {
+		for s2 := 0; s2 < 2; s2++ {
+			sel := Selection{1, s1, s2}
+			reduced := own.Add(g.VertexCost(1)[s1]).Add(g.VertexCost(2)[s2]).Add(g.EdgeCost(1, 2).At(s1, s2))
+			if full := orig.TotalCost(sel); full != reduced {
+				t.Errorf("sel %v: full %v != reduced %v", sel, full, reduced)
+			}
+		}
+	}
+}
+
+func TestColorVertexPanics(t *testing.T) {
+	g := fig2Graph()
+	g.RemoveVertex(0)
+	mustPanic(t, "dead vertex", func() { g.ColorVertex(0, 0) })
+	mustPanic(t, "color range", func() { g.ColorVertex(1, 5) })
+}
+
+func TestRemoveVertexAndEdges(t *testing.T) {
+	g := fig2Graph()
+	g.RemoveVertex(1)
+	if g.Degree(0) != 1 || g.Degree(2) != 1 {
+		t.Error("edges to removed vertex remain")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	g.RemoveVertex(1) // idempotent
+	if g.AliveCount() != 2 {
+		t.Errorf("AliveCount = %d", g.AliveCount())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := fig2Graph()
+	g.RemoveEdge(1, 0)
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge remains after RemoveEdge")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(4, 2)
+	z := cost.NewMatrixFrom([][]cost.Cost{{1, 0}, {0, 0}})
+	g.SetEdgeCost(2, 3, z)
+	g.SetEdgeCost(2, 0, z)
+	g.SetEdgeCost(2, 1, z)
+	ns := g.Neighbors(2)
+	if len(ns) != 3 || ns[0] != 0 || ns[1] != 1 || ns[2] != 3 {
+		t.Errorf("Neighbors = %v", ns)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := fig2Graph()
+	c := g.Clone()
+	c.ColorVertex(0, 0)
+	c.AddToVertexCost(2, cost.Vector{100, 100})
+	if !g.Alive(0) {
+		t.Error("clone mutation leaked liveness")
+	}
+	if g.VertexCost(2)[0] != 0 {
+		t.Error("clone mutation leaked vector")
+	}
+	if g.EdgeCost(0, 1) == nil {
+		t.Error("clone mutation leaked edges")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	g := fig2Graph()
+	h := g.Permute([]int{2, 0, 1}) // new0=old2, new1=old0, new2=old1
+	if !h.VertexCost(0).Equal(g.VertexCost(2)) {
+		t.Error("vertex cost not carried")
+	}
+	// old edge (0,1) becomes new edge (1,2) with same orientation
+	if got := h.EdgeCost(1, 2); got == nil || got.At(0, 1) != 3 {
+		t.Errorf("edge not carried: %v", got)
+	}
+	// cost is invariant under the renumbering
+	for s0 := 0; s0 < 2; s0++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for s2 := 0; s2 < 2; s2++ {
+				a := g.TotalCost(Selection{s0, s1, s2})
+				b := h.TotalCost(Selection{s2, s0, s1})
+				if a != b {
+					t.Fatalf("cost changed under permutation: %v vs %v", a, b)
+				}
+			}
+		}
+	}
+	mustPanic(t, "duplicate", func() { g.Permute([]int{0, 0, 1}) })
+	mustPanic(t, "short", func() { g.Permute([]int{0, 1}) })
+}
+
+func TestTotalCostInfinity(t *testing.T) {
+	g := New(2, 2)
+	g.SetVertexCost(0, cost.Vector{0, cost.Inf})
+	mat := cost.NewMatrix(2, 2)
+	mat.Set(0, 0, cost.Inf)
+	g.SetEdgeCost(0, 1, mat)
+	if !g.TotalCost(Selection{1, 0}).IsInf() {
+		t.Error("inf vertex cost not propagated")
+	}
+	if !g.TotalCost(Selection{0, 0}).IsInf() {
+		t.Error("inf edge cost not propagated")
+	}
+	if g.TotalCost(Selection{0, 1}).IsInf() {
+		t.Error("finite selection reported infinite")
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 12, 3, 0.4, 0.1)
+	var b strings.Builder
+	if err := Write(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != g.NumVertices() || h.M() != g.M() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if !h.VertexCost(u).Equal(g.VertexCost(u)) {
+			t.Errorf("vertex %d vector differs", u)
+		}
+	}
+	for _, e := range g.Edges() {
+		he := h.EdgeCost(e.U, e.V)
+		if he == nil || !he.Equal(e.M) {
+			t.Errorf("edge (%d,%d) differs", e.U, e.V)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                        // missing header
+		"v 0 1 2",                 // vertex before header
+		"e 0 1 0 0 0 0",           // edge before header
+		"pbqp 2 2\npbqp 2 2",      // duplicate header
+		"pbqp -1 2",               // bad n
+		"pbqp 2 0",                // bad m
+		"pbqp 2",                  // short header
+		"pbqp 2 2\nv 5 0 0",       // vertex id out of range
+		"pbqp 2 2\nv 0 0",         // wrong vector length
+		"pbqp 2 2\nv 0 a b",       // bad cost
+		"pbqp 2 2\ne 0 0 0 0 0 0", // self loop
+		"pbqp 2 2\ne 0 1 0 0",     // wrong matrix length
+		"pbqp 2 2\nx 1 2",         // unknown directive
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := "# a comment\npbqp 2 2 # trailing\n\nv 0 1 inf\ne 0 1 0 1 2 3\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.VertexCost(0)[1].IsInf() {
+		t.Error("inf cost not parsed")
+	}
+	if g.EdgeCost(0, 1).At(1, 0) != 2 {
+		t.Error("edge not parsed")
+	}
+}
+
+func TestWriteRejectsReducedGraph(t *testing.T) {
+	g := fig2Graph()
+	g.RemoveVertex(0)
+	if err := Write(&strings.Builder{}, g); err == nil {
+		t.Error("Write accepted a reduced graph")
+	}
+}
+
+// randomGraph builds a random Erdős–Rényi style PBQP graph for tests.
+// (The production generator lives in internal/randgraph; this local copy
+// keeps the package dependency-free.)
+func randomGraph(rng *rand.Rand, n, m int, pEdge, pInf float64) *Graph {
+	g := New(n, m)
+	randCost := func() cost.Cost {
+		if rng.Float64() < pInf {
+			return cost.Inf
+		}
+		return cost.Cost(rng.Intn(10))
+	}
+	for u := 0; u < n; u++ {
+		v := make(cost.Vector, m)
+		for i := range v {
+			v[i] = randCost()
+		}
+		g.SetVertexCost(u, v)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < pEdge {
+				mat := cost.NewMatrix(m, m)
+				for i := range mat.Data {
+					mat.Data[i] = randCost()
+				}
+				g.SetEdgeCost(u, v, mat)
+			}
+		}
+	}
+	return g
+}
+
+// Property: for random graphs and random coloring orders, the sum of
+// ColorVertex own-costs equals TotalCost of the original graph.
+func TestTransitionPreservesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 2 + rng.Intn(3)
+		g := randomGraph(rng, n, m, 0.5, 0.15)
+		sel := make(Selection, n)
+		for u := range sel {
+			sel[u] = rng.Intn(m)
+		}
+		want := g.TotalCost(sel)
+		work := g.Clone()
+		var got cost.Cost
+		for _, u := range rng.Perm(n) {
+			got = got.Add(work.ColorVertex(u, sel[u]))
+		}
+		if want.IsInf() != got.IsInf() {
+			t.Fatalf("trial %d: inf mismatch: want %v got %v", trial, want, got)
+		}
+		if !want.IsInf() && abs(float64(want-got)) > 1e-6 {
+			t.Fatalf("trial %d: want %v got %v", trial, want, got)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,146 @@
+package pbqp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pbqprl/internal/cost"
+)
+
+// The textual PBQP format is line oriented:
+//
+//	pbqp <n> <m>
+//	v <u> <c_0> ... <c_{m-1}>
+//	e <u> <v> <m_00> <m_01> ... <m_{m-1,m-1}>
+//
+// Vertex lines are optional (missing vertices keep zero vectors); edge
+// matrices are row-major with rows indexing u's color. "inf" denotes the
+// infinite cost. '#' starts a comment.
+
+// Write serializes g in the textual PBQP format. Dead vertices are not
+// representable and cause an error.
+func Write(w io.Writer, g *Graph) error {
+	if g.AliveCount() != g.NumVertices() {
+		return fmt.Errorf("pbqp: cannot serialize graph with removed vertices")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "pbqp %d %d\n", g.NumVertices(), g.M())
+	for u := 0; u < g.NumVertices(); u++ {
+		fmt.Fprintf(bw, "v %d", u)
+		for _, c := range g.VertexCost(u) {
+			fmt.Fprintf(bw, " %s", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d", e.U, e.V)
+		for _, c := range e.M.Data {
+			fmt.Fprintf(bw, " %s", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// String renders g in the textual PBQP format (empty on serialization
+// failure, which only happens for partially reduced graphs).
+func (g *Graph) String() string {
+	var b strings.Builder
+	if err := Write(&b, g); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Read parses a graph in the textual PBQP format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *Graph
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "pbqp":
+			if g != nil {
+				return nil, fmt.Errorf("pbqp: line %d: duplicate header", lineno)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pbqp: line %d: header wants 'pbqp n m'", lineno)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || n < 0 || m <= 0 {
+				return nil, fmt.Errorf("pbqp: line %d: bad dimensions", lineno)
+			}
+			g = New(n, m)
+		case "v":
+			if g == nil {
+				return nil, fmt.Errorf("pbqp: line %d: vertex before header", lineno)
+			}
+			if len(fields) != 2+g.M() {
+				return nil, fmt.Errorf("pbqp: line %d: vertex wants %d costs", lineno, g.M())
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil || u < 0 || u >= g.NumVertices() {
+				return nil, fmt.Errorf("pbqp: line %d: bad vertex id", lineno)
+			}
+			vec, err := parseCosts(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("pbqp: line %d: %w", lineno, err)
+			}
+			g.SetVertexCost(u, vec)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("pbqp: line %d: edge before header", lineno)
+			}
+			if len(fields) != 3+g.M()*g.M() {
+				return nil, fmt.Errorf("pbqp: line %d: edge wants %d costs", lineno, g.M()*g.M())
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 0 || v < 0 ||
+				u >= g.NumVertices() || v >= g.NumVertices() || u == v {
+				return nil, fmt.Errorf("pbqp: line %d: bad edge endpoints", lineno)
+			}
+			vec, err := parseCosts(fields[3:])
+			if err != nil {
+				return nil, fmt.Errorf("pbqp: line %d: %w", lineno, err)
+			}
+			mat := &cost.Matrix{Rows: g.M(), Cols: g.M(), Data: vec}
+			g.AddEdgeCost(u, v, mat)
+		default:
+			return nil, fmt.Errorf("pbqp: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("pbqp: missing header")
+	}
+	return g, nil
+}
+
+func parseCosts(fields []string) (cost.Vector, error) {
+	v := make(cost.Vector, len(fields))
+	for i, f := range fields {
+		c, err := cost.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		v[i] = c
+	}
+	return v, nil
+}

@@ -1,0 +1,106 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"pbqprl/internal/ir"
+	"pbqprl/internal/llvmsuite"
+	"pbqprl/internal/regalloc"
+	"pbqprl/internal/solve/scholz"
+)
+
+func TestSpilledUsesCostMore(t *testing.T) {
+	f := &ir.Func{
+		Name: "f", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpArith, Def: 1, Uses: []ir.Value{0}},
+			{Op: ir.OpRet, Uses: []ir.Value{1}},
+		}}},
+	}
+	p := DefaultParams()
+	allReg := regalloc.Assignment{Reg: []int{0, 1}}
+	allSpill := regalloc.Assignment{Reg: []int{-1, -1}}
+	cr := EstimateFunc(f, allReg, p)
+	cs := EstimateFunc(f, allSpill, p)
+	if cr != 3 { // three instructions, base cost 1 each
+		t.Errorf("register cycles = %v, want 3", cr)
+	}
+	// spills: v0 def store (+2), v0 use load (+3), v1 def store (+2),
+	// v1 use load (+3) => 3 + 10 = 13
+	if cs != 13 {
+		t.Errorf("spill cycles = %v, want 13", cs)
+	}
+}
+
+func TestLoopDepthScalesCost(t *testing.T) {
+	mk := func(depth int) *ir.Func {
+		return &ir.Func{
+			Name: "f", NumValues: 1,
+			Blocks: []*ir.Block{{Name: "b", LoopDepth: depth, Instrs: []ir.Instr{
+				{Op: ir.OpConst, Def: 0},
+			}}},
+		}
+	}
+	p := DefaultParams()
+	asn := regalloc.Assignment{Reg: []int{0}}
+	c0 := EstimateFunc(mk(0), asn, p)
+	c2 := EstimateFunc(mk(2), asn, p)
+	if c2 != 100*c0 {
+		t.Errorf("depth-2 cost %v, want 100× depth-0 %v", c2, c0)
+	}
+}
+
+func TestCoalescedMoveIsFree(t *testing.T) {
+	f := &ir.Func{
+		Name: "f", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpMove, Def: 1, Uses: []ir.Value{0}},
+			{Op: ir.OpRet, Uses: []ir.Value{1}},
+		}}},
+	}
+	p := DefaultParams()
+	same := EstimateFunc(f, regalloc.Assignment{Reg: []int{2, 2}}, p)
+	diff := EstimateFunc(f, regalloc.Assignment{Reg: []int{2, 3}}, p)
+	if same >= diff {
+		t.Errorf("coalesced %v should cost less than %v", same, diff)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(200, 100) != 2 {
+		t.Error("wrong speedup")
+	}
+	if !((Speedup(1, 0)) > 1e308) {
+		t.Error("zero-cycle speedup not infinite")
+	}
+}
+
+// TestAllocatorSpeedupOrdering reproduces the Section V-C shape on the
+// whole synthetic suite: GREEDY ≥ PBQP > FAST, all well above 1.
+func TestAllocatorSpeedupOrdering(t *testing.T) {
+	target := regalloc.DefaultTarget()
+	p := DefaultParams()
+	var fastC, basicC, greedyC, pbqpC float64
+	for _, b := range llvmsuite.All() {
+		for i, f := range b.Prog.Funcs {
+			in := regalloc.NewInput(f, target, b.Allowed[i])
+			fastC += EstimateFunc(f, regalloc.Fast(in), p)
+			basicC += EstimateFunc(f, regalloc.Basic(in), p)
+			greedyC += EstimateFunc(f, regalloc.Greedy(in), p)
+			asn, _ := regalloc.PBQPAlloc(in, scholz.Solver{})
+			pbqpC += EstimateFunc(f, asn, p)
+		}
+	}
+	gSpeed := Speedup(fastC, greedyC)
+	bSpeed := Speedup(fastC, basicC)
+	pSpeed := Speedup(fastC, pbqpC)
+	t.Logf("speedup vs FAST: basic=%.3f greedy=%.3f pbqp=%.3f", bSpeed, gSpeed, pSpeed)
+	if gSpeed <= 1.05 || pSpeed <= 1.05 {
+		t.Errorf("speedups too small: greedy=%.3f pbqp=%.3f", gSpeed, pSpeed)
+	}
+	if bSpeed > gSpeed {
+		t.Errorf("basic (%.3f) should not beat greedy (%.3f)", bSpeed, gSpeed)
+	}
+}

@@ -1,0 +1,170 @@
+// Package randgraph generates random PBQP problem instances.
+//
+// The paper trains its networks on Erdős–Rényi random PBQP graphs
+// G(n, p_edge) whose cost vectors and matrices are random reals with a
+// ratio p_inf of infinite entries (Section V-A uses p_inf = 1 % and
+// normally distributed n with mean 100). For the ATE domain, every cost
+// is zero or infinity; ZeroInf generates such instances around a hidden
+// valid assignment so that a zero-cost solution is guaranteed to exist,
+// mirroring real translatable test-pattern programs.
+package randgraph
+
+import (
+	"math/rand"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+)
+
+// Config parameterizes the Erdős–Rényi generator.
+type Config struct {
+	N     int     // number of vertices
+	M     int     // number of colors
+	PEdge float64 // probability of each of the n(n-1)/2 edges
+	PInf  float64 // ratio of infinite cost entries (paper: 0.01)
+	// MaxCost bounds finite random costs; zero means 10.
+	MaxCost float64
+}
+
+// ErdosRenyi generates a random PBQP graph per the paper's training
+// distribution. Vertex vectors always keep at least one finite entry so
+// every instance has at least one finite-cost assignment candidate.
+func ErdosRenyi(rng *rand.Rand, cfg Config) *pbqp.Graph {
+	maxCost := cfg.MaxCost
+	if maxCost == 0 {
+		maxCost = 10
+	}
+	g := pbqp.New(cfg.N, cfg.M)
+	entry := func() cost.Cost {
+		if rng.Float64() < cfg.PInf {
+			return cost.Inf
+		}
+		return cost.Cost(rng.Float64() * maxCost)
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := make(cost.Vector, cfg.M)
+		for i := range v {
+			v[i] = entry()
+		}
+		if v.AllInf() {
+			v[rng.Intn(cfg.M)] = cost.Cost(rng.Float64() * maxCost)
+		}
+		g.SetVertexCost(u, v)
+	}
+	for u := 0; u < cfg.N; u++ {
+		for w := u + 1; w < cfg.N; w++ {
+			if rng.Float64() >= cfg.PEdge {
+				continue
+			}
+			mat := cost.NewMatrix(cfg.M, cfg.M)
+			for i := range mat.Data {
+				mat.Data[i] = entry()
+			}
+			if mat.IsZero() {
+				mat.Set(rng.Intn(cfg.M), rng.Intn(cfg.M), cost.Cost(1+rng.Float64()*maxCost))
+			}
+			g.SetEdgeCost(u, w, mat)
+		}
+	}
+	return g
+}
+
+// NormalN samples a vertex count from a normal distribution with the
+// given mean and standard deviation, clamped to [min, ∞).
+func NormalN(rng *rand.Rand, mean, stddev float64, min int) int {
+	n := int(rng.NormFloat64()*stddev + mean)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// ZeroInfConfig parameterizes the ATE-style zero/infinity generator.
+type ZeroInfConfig struct {
+	N     int     // number of vertices
+	M     int     // number of colors (ATE: 13)
+	PEdge float64 // edge probability
+	// HardRatio is the fraction of vertices with liberty ≤ 4
+	// (the paper reports ~40 % for real ATE programs).
+	HardRatio float64
+	// PEdgeInf is the probability that an edge matrix entry (other
+	// than the hidden assignment's) is infinite, for edges incident
+	// to at least one hard vertex.
+	PEdgeInf float64
+	// PEasyInf is the same probability for edges between two easy
+	// vertices. Zero means PEdgeInf/8: in real ATE programs the
+	// irregular pairing and major-cycle constraints concentrate on a
+	// minority of registers, so easy-easy interactions are sparse and
+	// the liberty solver's approximated remainder is tractable.
+	PEasyInf float64
+}
+
+// ZeroInf generates a zero/infinity PBQP graph with a guaranteed
+// zero-cost solution, which it returns alongside the graph. All finite
+// entries are exactly zero, so any solution cost is zero or infinity —
+// the no-spill ATE regime of Section II-B.
+func ZeroInf(rng *rand.Rand, cfg ZeroInfConfig) (*pbqp.Graph, pbqp.Selection) {
+	pEasyInf := cfg.PEasyInf
+	if pEasyInf == 0 {
+		pEasyInf = cfg.PEdgeInf / 8
+	}
+	g := pbqp.New(cfg.N, cfg.M)
+	hidden := make(pbqp.Selection, cfg.N)
+	hard := make([]bool, cfg.N)
+	for u := range hidden {
+		hidden[u] = rng.Intn(cfg.M)
+		hard[u] = rng.Float64() < cfg.HardRatio
+	}
+	easyLo := 5 // easy vertex: liberty in [5, m] (clamped for small m)
+	if easyLo > cfg.M {
+		easyLo = cfg.M
+	}
+	hardHi := 4 // hard vertex: liberty in [1, 4] (clamped for small m)
+	if hardHi > cfg.M {
+		hardHi = cfg.M
+	}
+	for u := 0; u < cfg.N; u++ {
+		liberty := easyLo + rng.Intn(cfg.M-easyLo+1)
+		if hard[u] {
+			liberty = 1 + rng.Intn(hardHi)
+		}
+		v := cost.NewInfVector(cfg.M)
+		v[hidden[u]] = 0
+		for _, c := range rng.Perm(cfg.M) {
+			if liberty <= 1 {
+				break
+			}
+			if v[c].IsInf() {
+				v[c] = 0
+				liberty--
+			}
+		}
+		g.SetVertexCost(u, v)
+	}
+	for u := 0; u < cfg.N; u++ {
+		for w := u + 1; w < cfg.N; w++ {
+			if rng.Float64() >= cfg.PEdge {
+				continue
+			}
+			pInf := cfg.PEdgeInf
+			if !hard[u] && !hard[w] {
+				pInf = pEasyInf
+			}
+			mat := cost.NewMatrix(cfg.M, cfg.M)
+			for i := 0; i < cfg.M; i++ {
+				for j := 0; j < cfg.M; j++ {
+					if i == hidden[u] && j == hidden[w] {
+						continue // keep the hidden solution feasible
+					}
+					if rng.Float64() < pInf {
+						mat.Set(i, j, cost.Inf)
+					}
+				}
+			}
+			if !mat.IsZero() {
+				g.SetEdgeCost(u, w, mat)
+			}
+		}
+	}
+	return g, hidden
+}

@@ -1,0 +1,131 @@
+package randgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{N: 30, M: 4, PEdge: 0.3, PInf: 0.05}
+	g := ErdosRenyi(rng, cfg)
+	if g.NumVertices() != 30 || g.M() != 4 {
+		t.Fatalf("shape = (%d, %d)", g.NumVertices(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// expected edges ≈ 0.3 * 30*29/2 = 130; allow a wide band
+	if e := g.NumEdges(); e < 60 || e > 220 {
+		t.Errorf("NumEdges = %d, outside plausible band", e)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.VertexCost(u).AllInf() {
+			t.Errorf("vertex %d has no selectable color", u)
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	cfg := Config{N: 10, M: 3, PEdge: 0.5, PInf: 0.1}
+	a := ErdosRenyi(rand.New(rand.NewSource(5)), cfg)
+	b := ErdosRenyi(rand.New(rand.NewSource(5)), cfg)
+	if a.String() != b.String() {
+		t.Error("same seed produced different graphs")
+	}
+	c := ErdosRenyi(rand.New(rand.NewSource(6)), cfg)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiInfRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := ErdosRenyi(rng, Config{N: 50, M: 5, PEdge: 0.4, PInf: 0.2})
+	total, inf := 0, 0
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, c := range g.VertexCost(u) {
+			total++
+			if c.IsInf() {
+				inf++
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for _, c := range e.M.Data {
+			total++
+			if c.IsInf() {
+				inf++
+			}
+		}
+	}
+	ratio := float64(inf) / float64(total)
+	if ratio < 0.1 || ratio > 0.3 {
+		t.Errorf("inf ratio = %.3f, want near 0.2", ratio)
+	}
+}
+
+func TestNormalN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sum := 0
+	for i := 0; i < 1000; i++ {
+		n := NormalN(rng, 100, 15, 10)
+		if n < 10 {
+			t.Fatalf("NormalN returned %d < min", n)
+		}
+		sum += n
+	}
+	mean := float64(sum) / 1000
+	if mean < 90 || mean > 110 {
+		t.Errorf("mean = %.1f, want near 100", mean)
+	}
+}
+
+func TestZeroInfHiddenSolutionIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g, hidden := ZeroInf(rng, ZeroInfConfig{
+			N: 40, M: 13, PEdge: 0.2, HardRatio: 0.4, PEdgeInf: 0.3,
+		})
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c := g.TotalCost(hidden); c != 0 {
+			t.Fatalf("trial %d: hidden solution cost = %v, want 0", trial, c)
+		}
+	}
+}
+
+func TestZeroInfCostsAreZeroOrInf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := ZeroInf(rng, ZeroInfConfig{N: 20, M: 6, PEdge: 0.3, HardRatio: 0.5, PEdgeInf: 0.25})
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, c := range g.VertexCost(u) {
+			if c != 0 && !c.IsInf() {
+				t.Fatalf("vertex %d has non-zero finite cost %v", u, c)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for _, c := range e.M.Data {
+			if c != 0 && !c.IsInf() {
+				t.Fatalf("edge (%d,%d) has non-zero finite cost %v", e.U, e.V, c)
+			}
+		}
+	}
+}
+
+func TestZeroInfHardRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, _ := ZeroInf(rng, ZeroInfConfig{N: 200, M: 13, PEdge: 0.1, HardRatio: 0.4, PEdgeInf: 0.1})
+	hard := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.Liberty(u) <= 4 {
+			hard++
+		}
+	}
+	ratio := float64(hard) / 200
+	if ratio < 0.25 || ratio > 0.6 {
+		t.Errorf("hard ratio = %.2f, want near 0.4", ratio)
+	}
+}

@@ -1,0 +1,159 @@
+// Package reduce implements the exact PBQP reductions R0, R1 and R2 of
+// Scholz and Eckstein as a standalone, solver-agnostic preprocessing
+// pass. Unlike the full original solver (internal/solve/scholz), this
+// pass never applies the lossy RN heuristic: the reduced problem is
+// cost-equivalent to the original, so any solver — exact, enumeration,
+// or Deep-RL — can run on the (often much smaller) remainder and the
+// removed vertices are recolored optimally afterwards.
+//
+// This mirrors production PBQP allocators, which always run the exact
+// reductions before anything expensive.
+package reduce
+
+import (
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+)
+
+// Reduction is the result of exactly reducing a PBQP graph.
+type Reduction struct {
+	// Graph is the reduced remainder: every alive vertex has degree
+	// ≥ 3. It may be empty, in which case Expand solves the whole
+	// problem by itself.
+	Graph *pbqp.Graph
+	// Eliminated is the number of vertices removed by R0/R1/R2.
+	Eliminated int
+	stack      []record
+}
+
+type kind int
+
+const (
+	r0 kind = iota
+	r1
+	r2
+)
+
+type record struct {
+	kind kind
+	u    int
+	vec  cost.Vector
+	nbrs []int
+	mats []*cost.Matrix
+}
+
+// Apply exhaustively applies R0/R1/R2 to a copy of g and returns the
+// reduction. The input graph is not mutated.
+func Apply(g *pbqp.Graph) *Reduction {
+	w := g.Clone()
+	red := &Reduction{Graph: w}
+	for {
+		u := lowestDegree(w)
+		if u < 0 || w.Degree(u) > 2 {
+			return red
+		}
+		red.Eliminated++
+		switch w.Degree(u) {
+		case 0:
+			red.stack = append(red.stack, record{kind: r0, u: u, vec: w.VertexCost(u).Clone()})
+			w.RemoveVertex(u)
+		case 1:
+			red.stack = append(red.stack, reduceR1(w, u))
+		default:
+			red.stack = append(red.stack, reduceR2(w, u))
+		}
+	}
+}
+
+// lowestDegree returns the alive vertex with minimum degree, -1 when
+// the graph is empty.
+func lowestDegree(g *pbqp.Graph) int {
+	best, bestDeg := -1, 0
+	for _, u := range g.Vertices() {
+		if d := g.Degree(u); best == -1 || d < bestDeg {
+			best, bestDeg = u, d
+			if d == 0 {
+				return u
+			}
+		}
+	}
+	return best
+}
+
+func reduceR1(g *pbqp.Graph, u int) record {
+	y := g.Neighbors(u)[0]
+	m := g.EdgeCost(u, y).Clone()
+	vec := g.VertexCost(u).Clone()
+	delta := make(cost.Vector, g.M())
+	for j := 0; j < g.M(); j++ {
+		best := cost.Inf
+		for i := 0; i < g.M(); i++ {
+			if c := vec[i].Add(m.At(i, j)); c.Less(best) {
+				best = c
+			}
+		}
+		delta[j] = best
+	}
+	g.AddToVertexCost(y, delta)
+	g.RemoveVertex(u)
+	return record{kind: r1, u: u, vec: vec, nbrs: []int{y}, mats: []*cost.Matrix{m}}
+}
+
+func reduceR2(g *pbqp.Graph, u int) record {
+	ns := g.Neighbors(u)
+	y, z := ns[0], ns[1]
+	my := g.EdgeCost(u, y).Clone()
+	mz := g.EdgeCost(u, z).Clone()
+	vec := g.VertexCost(u).Clone()
+	m := g.M()
+	delta := cost.NewMatrix(m, m)
+	for jy := 0; jy < m; jy++ {
+		for jz := 0; jz < m; jz++ {
+			best := cost.Inf
+			for i := 0; i < m; i++ {
+				if c := vec[i].Add(my.At(i, jy)).Add(mz.At(i, jz)); c.Less(best) {
+					best = c
+				}
+			}
+			delta.Set(jy, jz, best)
+		}
+	}
+	g.RemoveVertex(u)
+	g.AddEdgeCost(y, z, delta)
+	if g.EdgeCost(y, z).IsZero() {
+		g.RemoveEdge(y, z)
+	}
+	return record{kind: r2, u: u, vec: vec, nbrs: []int{y, z}, mats: []*cost.Matrix{my, mz}}
+}
+
+// Expand completes a selection of the reduced remainder into a full
+// selection of the original graph, choosing every eliminated vertex's
+// color optimally given its (by then colored) former neighbors. sel
+// must assign every alive vertex of the reduced graph; eliminated
+// entries may hold anything. It reports false if some eliminated vertex
+// has no finite color (the problem is infeasible regardless of sel).
+func (r *Reduction) Expand(sel pbqp.Selection) (pbqp.Selection, bool) {
+	out := sel.Clone()
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		rec := r.stack[i]
+		best, bestCost := -1, cost.Inf
+		for c := range rec.vec {
+			v := rec.vec[c]
+			for k, nb := range rec.nbrs {
+				v = v.Add(rec.mats[k].At(c, out[nb]))
+			}
+			if !v.IsInf() && (best == -1 || v.Less(bestCost)) {
+				best, bestCost = c, v
+			}
+		}
+		if best == -1 {
+			if rec.kind == r0 {
+				// an isolated all-infinite vertex: infeasible
+				return out, false
+			}
+			return out, false
+		}
+		out[rec.u] = best
+	}
+	return out, true
+}

@@ -1,0 +1,219 @@
+package regalloc
+
+import (
+	"testing"
+
+	"pbqprl/internal/ir"
+	"pbqprl/internal/llvmsuite"
+	"pbqprl/internal/solve/scholz"
+)
+
+func suiteInputs(t *testing.T, n int) []Input {
+	t.Helper()
+	target := DefaultTarget()
+	var ins []Input
+	for _, b := range llvmsuite.All()[:n] {
+		if err := b.Prog.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range b.Prog.Funcs {
+			ins = append(ins, NewInput(f, target, b.Allowed[i]))
+		}
+	}
+	return ins
+}
+
+func TestFastSpillsSpanningValues(t *testing.T) {
+	for _, in := range suiteInputs(t, 4) {
+		asn := Fast(in)
+		if err := asn.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < in.F.NumValues; v++ {
+			if in.Info.Spans[v] && asn.Reg[v] != -1 {
+				t.Fatalf("%s: FAST kept spanning v%d in a register", in.F.Name, v)
+			}
+		}
+	}
+}
+
+func TestBasicProducesValidAssignments(t *testing.T) {
+	for _, in := range suiteInputs(t, 6) {
+		asn := Basic(in)
+		if err := asn.Validate(in); err != nil {
+			t.Fatalf("%s: %v", in.F.Name, err)
+		}
+	}
+}
+
+func TestGreedyProducesValidAssignments(t *testing.T) {
+	for _, in := range suiteInputs(t, 6) {
+		asn := Greedy(in)
+		if err := asn.Validate(in); err != nil {
+			t.Fatalf("%s: %v", in.F.Name, err)
+		}
+	}
+}
+
+func TestAllocatorQualityOrdering(t *testing.T) {
+	// FAST must spill the most values; GREEDY optimizes *weighted*
+	// spill cost (it may spill more cold values than BASIC but far
+	// less hot weight — exactly LLVM's trade).
+	var fastN, basicN int
+	var fastW, basicW, greedyW float64
+	weight := func(in Input, a Assignment) float64 {
+		w := 0.0
+		for v, r := range a.Reg {
+			if r == -1 {
+				w += in.Info.SpillWeight[v]
+			}
+		}
+		return w
+	}
+	for _, in := range suiteInputs(t, 24) {
+		fa, ba, ga := Fast(in), Basic(in), Greedy(in)
+		fastN += fa.SpillCount()
+		basicN += ba.SpillCount()
+		fastW += weight(in, fa)
+		basicW += weight(in, ba)
+		greedyW += weight(in, ga)
+	}
+	t.Logf("spill weight: fast=%.0f basic=%.0f greedy=%.0f (counts: fast=%d basic=%d)",
+		fastW, basicW, greedyW, fastN, basicN)
+	if fastN <= basicN {
+		t.Errorf("FAST (%d) should spill more values than BASIC (%d)", fastN, basicN)
+	}
+	if greedyW > basicW {
+		t.Errorf("GREEDY weight (%.0f) should not exceed BASIC (%.0f)", greedyW, basicW)
+	}
+	if greedyW >= fastW {
+		t.Errorf("GREEDY weight (%.0f) should be far below FAST (%.0f)", greedyW, fastW)
+	}
+}
+
+func TestBuildPBQPStructure(t *testing.T) {
+	in := suiteInputs(t, 1)[0]
+	g := BuildPBQP(in)
+	if g.M() != in.Target.NumRegs+1 {
+		t.Fatalf("m = %d, want %d", g.M(), in.Target.NumRegs+1)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vec := g.VertexCost(v)
+		if vec[SpillColor].IsInf() {
+			t.Fatalf("v%d: spill option infinite", v)
+		}
+		if float64(vec[SpillColor]) != in.Info.SpillWeight[v] {
+			t.Fatalf("v%d: spill cost %v != weight %v", v, vec[SpillColor], in.Info.SpillWeight[v])
+		}
+	}
+	// interference edges: register diagonal infinite, spill row free
+	for v := 0; v < in.F.NumValues; v++ {
+		for u := range in.Info.Interference[v] {
+			e := g.EdgeCost(v, int(u))
+			if e == nil {
+				t.Fatalf("interference (v%d,v%d) has no edge", v, u)
+			}
+			if !e.At(1, 1).IsInf() {
+				t.Fatal("register diagonal not infinite")
+			}
+			if e.At(SpillColor, SpillColor).IsInf() {
+				t.Fatal("spill-spill marked infinite")
+			}
+			if e.At(1, 2).IsInf() {
+				t.Fatal("distinct registers marked infinite")
+			}
+		}
+	}
+}
+
+func TestPBQPHintsAreNegative(t *testing.T) {
+	// hand-built move chain: v0 -> v1 (move), no interference
+	f := &ir.Func{
+		Name: "hint", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpMove, Def: 1, Uses: []ir.Value{0}},
+			{Op: ir.OpStore, Uses: []ir.Value{1, 1}},
+			{Op: ir.OpRet},
+		}}},
+	}
+	in := NewInput(f, DefaultTarget(), nil)
+	g := BuildPBQP(in)
+	e := g.EdgeCost(0, 1)
+	if e == nil {
+		t.Fatal("no hint edge for move-related pair")
+	}
+	if !(e.At(1, 1) < 0) {
+		t.Errorf("same-register hint = %v, want negative", e.At(1, 1))
+	}
+	if e.At(1, 2) != 0 {
+		t.Errorf("different-register cost = %v, want 0", e.At(1, 2))
+	}
+}
+
+func TestPBQPAllocRoundTrip(t *testing.T) {
+	for _, in := range suiteInputs(t, 4) {
+		asn, res := PBQPAlloc(in, scholz.Solver{})
+		if !res.Feasible {
+			t.Fatalf("%s: PBQP infeasible (spill should always be available)", in.F.Name)
+		}
+		if err := asn.Validate(in); err != nil {
+			t.Fatalf("%s: %v", in.F.Name, err)
+		}
+	}
+}
+
+func TestFromSelection(t *testing.T) {
+	asn := FromSelection([]int{0, 1, 5})
+	if asn.Reg[0] != -1 || asn.Reg[1] != 0 || asn.Reg[2] != 4 {
+		t.Errorf("FromSelection = %v", asn.Reg)
+	}
+	if asn.SpillCount() != 1 {
+		t.Errorf("SpillCount = %d", asn.SpillCount())
+	}
+}
+
+func TestClassRestrictionsRespected(t *testing.T) {
+	f := &ir.Func{
+		Name: "cls", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpConst, Def: 1},
+			{Op: ir.OpStore, Uses: []ir.Value{0, 1}},
+			{Op: ir.OpRet},
+		}}},
+	}
+	allowed := [][]int{{3}, {3, 4}}
+	in := NewInput(f, DefaultTarget(), allowed)
+	for name, alloc := range map[string]func(Input) Assignment{
+		"fast": Fast, "basic": Basic, "greedy": Greedy,
+	} {
+		asn := alloc(in)
+		if err := asn.Validate(in); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if asn.Reg[0] != -1 && asn.Reg[0] != 3 {
+			t.Errorf("%s: v0 got register %d outside class", name, asn.Reg[0])
+		}
+	}
+	asn, _ := PBQPAlloc(in, scholz.Solver{})
+	if err := asn.Validate(in); err != nil {
+		t.Errorf("pbqp: %v", err)
+	}
+}
+
+func TestValidateCatchesConflicts(t *testing.T) {
+	in := suiteInputs(t, 1)[0]
+	asn := Greedy(in)
+	// force a conflict
+	for v := 0; v < in.F.NumValues; v++ {
+		for u := range in.Info.Interference[v] {
+			asn.Reg[v], asn.Reg[u] = 0, 0
+			if err := asn.Validate(in); err == nil {
+				t.Fatal("Validate accepted conflicting registers")
+			}
+			return
+		}
+	}
+	t.Skip("no interference in first function")
+}

@@ -1,0 +1,96 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"pbqprl/internal/ir"
+)
+
+// Rewrite materializes an assignment into the function: every use of a
+// spilled value is preceded by a reload into a fresh value and every
+// definition of a spilled value is followed by a store, exactly what a
+// backend's spill-code insertion does. The result is a new function
+// (the input is not mutated) together with the extended assignment in
+// which every value, including the new reload temporaries, holds a
+// physical register.
+//
+// Reload temporaries live in three reserved spill registers numbered
+// just past the allocatable set (in.Target.NumRegs .. NumRegs+2) — the
+// classic reserved-register spilling scheme, conflict-free by
+// construction because no allocated value can hold them. A single
+// instruction reads at most three operands, so three always suffice.
+// The returned assignment therefore validates against a machine with
+// NumRegs+3 registers.
+func Rewrite(in Input, asn Assignment) (*ir.Func, Assignment, error) {
+	if len(asn.Reg) != in.F.NumValues {
+		return nil, Assignment{}, fmt.Errorf("regalloc: assignment covers %d of %d values", len(asn.Reg), in.F.NumValues)
+	}
+	out := &ir.Func{
+		Name:      in.F.Name,
+		NumValues: in.F.NumValues,
+		Params:    append([]ir.Value(nil), in.F.Params...),
+	}
+	reg := append([]int(nil), asn.Reg...)
+	newValue := func(r int) ir.Value {
+		v := ir.Value(out.NumValues)
+		out.NumValues++
+		reg = append(reg, r)
+		return v
+	}
+	for _, blk := range in.F.Blocks {
+		nb := &ir.Block{
+			Name:      blk.Name,
+			Succs:     append([]int(nil), blk.Succs...),
+			LoopDepth: blk.LoopDepth,
+		}
+		for _, instr := range blk.Instrs {
+			scratch := 0
+			uses := append([]ir.Value(nil), instr.Uses...)
+			for i, u := range uses {
+				if reg[u] != -1 {
+					continue
+				}
+				// reload the stack slot of u into a reserved register
+				tmp := newValue(in.Target.NumRegs + scratch)
+				scratch = (scratch + 1) % 3
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpLoad, Def: tmp, Uses: []ir.Value{u}})
+				uses[i] = tmp
+			}
+			ni := ir.Instr{Op: instr.Op, Def: instr.Def, Uses: uses}
+			nb.Instrs = append(nb.Instrs, ni)
+			if d := instr.DefValue(); d >= 0 && reg[d] == -1 {
+				// store the freshly computed value to its stack slot
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpStore, Uses: []ir.Value{d, d}})
+			}
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out, Assignment{Reg: reg}, nil
+}
+
+// CountSpillCode returns the number of reload and store instructions a
+// Rewrite of asn would insert, weighted by 10^loopDepth — a direct
+// measure of the dynamic spill traffic the perfmodel charges for.
+func CountSpillCode(in Input, asn Assignment) (reloads, stores float64) {
+	pow := func(d int) float64 {
+		f := 1.0
+		for i := 0; i < d; i++ {
+			f *= 10
+		}
+		return f
+	}
+	for _, blk := range in.F.Blocks {
+		w := pow(blk.LoopDepth)
+		for _, instr := range blk.Instrs {
+			for _, u := range instr.Uses {
+				if asn.Reg[u] == -1 {
+					reloads += w
+				}
+			}
+			if d := instr.DefValue(); d >= 0 && asn.Reg[d] == -1 {
+				stores += w
+			}
+		}
+	}
+	return reloads, stores
+}

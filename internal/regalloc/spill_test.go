@@ -1,0 +1,103 @@
+package regalloc
+
+import (
+	"testing"
+
+	"pbqprl/internal/ir"
+	"pbqprl/internal/llvmsuite"
+)
+
+func TestRewriteInsertsSpillCode(t *testing.T) {
+	bench := llvmsuite.Generate("Quicksort")
+	target := DefaultTarget()
+	for i, f := range bench.Prog.Funcs {
+		in := NewInput(f, target, bench.Allowed[i])
+		asn := Basic(in)
+		if asn.SpillCount() == 0 {
+			continue
+		}
+		out, extended, err := Rewrite(in, asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("rewritten function invalid: %v", err)
+		}
+		if out.NumValues <= f.NumValues {
+			t.Error("no reload temporaries created")
+		}
+		// every new temporary holds a reserved register
+		for v := f.NumValues; v < out.NumValues; v++ {
+			r := extended.Reg[v]
+			if r < target.NumRegs || r >= target.NumRegs+3 {
+				t.Fatalf("temp v%d in non-reserved register %d", v, r)
+			}
+		}
+		// the rewritten function validates against the widened machine
+		wide := &Target{Name: "wide", NumRegs: target.NumRegs + 3}
+		wideIn := NewInput(out, wide, nil)
+		if err := (Assignment{Reg: extended.Reg}).Validate(wideIn); err != nil {
+			t.Fatalf("extended assignment invalid: %v", err)
+		}
+		// instruction count grew by exactly the inserted loads/stores
+		count := func(fn *ir.Func) (n int) {
+			for _, b := range fn.Blocks {
+				n += len(b.Instrs)
+			}
+			return n
+		}
+		if count(out) <= count(f) {
+			t.Error("no spill code inserted")
+		}
+		return
+	}
+	t.Skip("no function with spills in this benchmark")
+}
+
+func TestRewriteNoSpillsIsIdentityShaped(t *testing.T) {
+	f := &ir.Func{
+		Name: "clean", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpArith, Def: 1, Uses: []ir.Value{0}},
+			{Op: ir.OpRet, Uses: []ir.Value{1}},
+		}}},
+	}
+	in := NewInput(f, DefaultTarget(), nil)
+	out, extended, err := Rewrite(in, Assignment{Reg: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumValues != 2 || len(out.Blocks[0].Instrs) != 3 {
+		t.Error("rewrite changed a spill-free function")
+	}
+	if len(extended.Reg) != 2 {
+		t.Error("assignment grew without spills")
+	}
+}
+
+func TestRewriteRejectsShortAssignment(t *testing.T) {
+	bench := llvmsuite.Generate("sieve")
+	in := NewInput(bench.Prog.Funcs[0], DefaultTarget(), nil)
+	if _, _, err := Rewrite(in, Assignment{Reg: []int{0}}); err == nil {
+		t.Error("accepted a truncated assignment")
+	}
+}
+
+func TestCountSpillCode(t *testing.T) {
+	f := &ir.Func{
+		Name: "hot", NumValues: 2,
+		Blocks: []*ir.Block{{Name: "loop", LoopDepth: 2, Instrs: []ir.Instr{
+			{Op: ir.OpConst, Def: 0},
+			{Op: ir.OpArith, Def: 1, Uses: []ir.Value{0, 0}},
+		}}},
+	}
+	in := NewInput(f, DefaultTarget(), nil)
+	reloads, stores := CountSpillCode(in, Assignment{Reg: []int{-1, 3}})
+	if reloads != 200 { // two uses × 10^2
+		t.Errorf("reloads = %v, want 200", reloads)
+	}
+	if stores != 100 { // one def × 10^2
+		t.Errorf("stores = %v, want 100", stores)
+	}
+}

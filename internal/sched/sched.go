@@ -1,0 +1,173 @@
+// Package sched is a prototype of the paper's future-work direction
+// (Section VII): combining instruction scheduling with register
+// allocation for ATE translation. When a test pattern is retimed for a
+// different-speed DRAM or a different interleaving factor, the slots
+// inside each major cycle can be reordered — and the order decides
+// which read-ahead-of-write constraints the PBQP graph carries.
+//
+// ScheduleCycles reorders the instructions inside every major cycle,
+// preserving data dependences, with a defs-early greedy list scheduler:
+// pulling definitions toward the front of a cycle strictly shrinks the
+// set of (read at slot p, write at slot q > p) pairs those definitions
+// participate in, which usually removes PBQP constraint edges and makes
+// allocation easier. It is a heuristic, not an optimizer — the point is
+// the pipeline: schedule, rebuild the PBQP, allocate, compare.
+package sched
+
+import (
+	"pbqprl/internal/ate"
+)
+
+// Result reports the effect of scheduling on the derived PBQP problem.
+type Result struct {
+	Program *ate.Program
+	// EdgesBefore and EdgesAfter count PBQP edges before and after.
+	EdgesBefore, EdgesAfter int
+	// InfBefore and InfAfter count infinite edge-matrix entries.
+	// (Read-ahead-of-write constraints often coincide with
+	// interference edges, so this can stay flat even when pairs drop.)
+	InfBefore, InfAfter int
+	// PairsBefore and PairsAfter count the same-cycle
+	// read-ahead-of-write pairs directly — the quantity defs-early
+	// scheduling minimizes.
+	PairsBefore, PairsAfter int
+}
+
+// ReadAheadOfWritePairs counts, over all major cycles, the pairs
+// (vreg read at slot p, vreg defined at slot q > p) — each one a PBQP
+// must-differ constraint of Section II-B.
+func ReadAheadOfWritePairs(p *ate.Program) int {
+	ways := p.Machine.Ways
+	pairs := 0
+	for lo := 0; lo < len(p.Instrs); lo += ways {
+		hi := lo + ways
+		if hi > len(p.Instrs) {
+			hi = len(p.Instrs)
+		}
+		reads := 0
+		for i := lo; i < hi; i++ {
+			if p.Instrs[i].DefReg() >= 0 {
+				pairs += reads
+			}
+			reads += len(p.Instrs[i].Uses)
+		}
+	}
+	return pairs
+}
+
+// ScheduleCycles returns a new program whose instructions are reordered
+// within each major cycle (never across cycles), defs as early as data
+// dependences allow. The input program is not mutated.
+func ScheduleCycles(p *ate.Program) (*ate.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &ate.Program{
+		Name:     p.Name + "+sched",
+		Machine:  p.Machine,
+		NumVRegs: p.NumVRegs,
+		Allowed:  p.Allowed,
+	}
+	ways := p.Machine.Ways
+	defined := make([]bool, p.NumVRegs) // defined in a previous cycle or emitted slot
+	for lo := 0; lo < len(p.Instrs); lo += ways {
+		hi := lo + ways
+		if hi > len(p.Instrs) {
+			hi = len(p.Instrs)
+		}
+		cycle := append([]ate.Instr(nil), p.Instrs[lo:hi]...)
+		emitted := make([]bool, len(cycle))
+		// the cycle's own defs are not available until emitted
+		local := make(map[int]int) // vreg -> instr index within cycle
+		for i, in := range cycle {
+			if d := in.DefReg(); d >= 0 {
+				local[d] = i
+			}
+		}
+		ready := func(i int) bool {
+			for _, u := range cycle[i].Uses {
+				if j, ok := local[u]; ok && !emitted[j] && j != i {
+					return false
+				}
+				if _, ok := local[u]; !ok && !defined[u] {
+					return false
+				}
+			}
+			return true
+		}
+		for emittedCount := 0; emittedCount < len(cycle); emittedCount++ {
+			// prefer ready defining instructions, then ready others,
+			// stable by original position
+			pick := -1
+			for pass := 0; pass < 2 && pick < 0; pass++ {
+				for i := range cycle {
+					if emitted[i] || !ready(i) {
+						continue
+					}
+					isDef := cycle[i].DefReg() >= 0
+					if (pass == 0) == isDef {
+						pick = i
+						break
+					}
+				}
+			}
+			if pick < 0 {
+				// cyclic same-slot dependence cannot happen in a valid
+				// program, but fall back to original order defensively
+				for i := range cycle {
+					if !emitted[i] {
+						pick = i
+						break
+					}
+				}
+			}
+			emitted[pick] = true
+			out.Instrs = append(out.Instrs, cycle[pick])
+			if d := cycle[pick].DefReg(); d >= 0 {
+				defined[d] = true
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Evaluate schedules p and measures the PBQP shrinkage.
+func Evaluate(p *ate.Program) (*Result, error) {
+	before, err := ate.BuildPBQP(p)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := ScheduleCycles(p)
+	if err != nil {
+		return nil, err
+	}
+	after, err := ate.BuildPBQP(sp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Program:     sp,
+		EdgesBefore: before.NumEdges(),
+		EdgesAfter:  after.NumEdges(),
+		PairsBefore: ReadAheadOfWritePairs(p),
+		PairsAfter:  ReadAheadOfWritePairs(sp),
+	}
+	for _, e := range before.Edges() {
+		for _, c := range e.M.Data {
+			if c.IsInf() {
+				res.InfBefore++
+			}
+		}
+	}
+	for _, e := range after.Edges() {
+		for _, c := range e.M.Data {
+			if c.IsInf() {
+				res.InfAfter++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"testing"
+
+	"pbqprl/internal/ate"
+)
+
+func TestScheduledProgramValid(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		prog, _ := ate.Generate(ate.DefaultMachine(), ate.GenConfig{
+			Name: "s", NumVRegs: 40, PairRatio: 0.3, HardRatio: 0.4,
+			MaxLive: 8, Seed: seed,
+		})
+		sp, err := ScheduleCycles(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sp.Instrs) != len(prog.Instrs) {
+			t.Fatalf("seed %d: instruction count changed", seed)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("seed %d: scheduled program invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestSchedulingPreservesCycleMembership(t *testing.T) {
+	prog, _ := ate.Generate(ate.DefaultMachine(), ate.GenConfig{
+		Name: "s", NumVRegs: 30, PairRatio: 0.3, HardRatio: 0.4, MaxLive: 8, Seed: 3,
+	})
+	sp, err := ScheduleCycles(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ways := prog.Machine.Ways
+	// multiset of opcodes per cycle must be preserved
+	for lo := 0; lo < len(prog.Instrs); lo += ways {
+		hi := lo + ways
+		if hi > len(prog.Instrs) {
+			hi = len(prog.Instrs)
+		}
+		var a, b [8]int
+		for i := lo; i < hi; i++ {
+			a[int(prog.Instrs[i].Op)]++
+			b[int(sp.Instrs[i].Op)]++
+		}
+		if a != b {
+			t.Fatalf("cycle %d: opcode multiset changed", lo/ways)
+		}
+	}
+}
+
+func TestEvaluateShrinksConstraints(t *testing.T) {
+	shrunk, grew := 0, 0
+	for seed := int64(20); seed < 35; seed++ {
+		prog, _ := ate.Generate(ate.DefaultMachine(), ate.GenConfig{
+			Name: "s", NumVRegs: 50, PairRatio: 0.3, HardRatio: 0.4,
+			MaxLive: 8, Seed: seed,
+		})
+		res, err := Evaluate(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.PairsAfter < res.PairsBefore:
+			shrunk++
+		case res.PairsAfter > res.PairsBefore:
+			grew++
+		}
+	}
+	if shrunk == 0 {
+		t.Error("defs-early scheduling never removed a read-ahead-of-write pair")
+	}
+	t.Logf("read-ahead-of-write pairs shrank on %d/15 programs, grew on %d/15", shrunk, grew)
+}
+
+func TestDefsComeEarlier(t *testing.T) {
+	prog, _ := ate.Generate(ate.DefaultMachine(), ate.GenConfig{
+		Name: "s", NumVRegs: 40, PairRatio: 0.3, HardRatio: 0.4, MaxLive: 8, Seed: 9,
+	})
+	sp, err := ScheduleCycles(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := func(p *ate.Program) (sum int) {
+		ways := p.Machine.Ways
+		for i, in := range p.Instrs {
+			if in.DefReg() >= 0 {
+				sum += i % ways
+			}
+		}
+		return sum
+	}
+	if pos(sp) > pos(prog) {
+		t.Errorf("defs moved later on average: %d vs %d", pos(sp), pos(prog))
+	}
+}

@@ -1,0 +1,324 @@
+// Package selfplay implements the paper's training pipeline (Section
+// IV-A): episodes of the PBQP game played against the previously best
+// network, iterations of a fixed number of episodes, a bounded replay
+// queue of training tuples, minibatch Adam training with the combined
+// loss L = (v − v̂)² − pᵀ log p̂ + c‖θ‖², and arena gating — the new
+// network replaces the best one only if it wins more than half of a set
+// of fresh evaluation games.
+package selfplay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/game"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/mcts"
+	"pbqprl/internal/net"
+	"pbqprl/internal/nn"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/rl"
+	"pbqprl/internal/tensor"
+)
+
+// Sample is one training tuple (s, p, v): a frozen reduced-graph state,
+// the MCTS policy label, and the final episode reward label.
+type Sample struct {
+	View gcn.View
+	Pi   tensor.Vec
+	Z    float64
+}
+
+// Config tunes the trainer. Zero values take the listed defaults, which
+// are laptop-scale versions of the paper's hyperparameters.
+type Config struct {
+	// EpisodesPerIter is the number of self-play episodes per
+	// iteration (paper: 100).
+	EpisodesPerIter int
+	// KTrain is the MCTS simulation count per move during training
+	// runs (paper: 50 or 100).
+	KTrain int
+	// ReplayCap bounds the replay queue (paper: 200,000 tuples).
+	ReplayCap int
+	// BatchSize is the Adam minibatch size (paper: 64).
+	BatchSize int
+	// TrainSteps is the number of minibatch steps per iteration
+	// (default: 2 × EpisodesPerIter).
+	TrainSteps int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// L2 is the c of the loss's regularization term (default 1e-4).
+	L2 float64
+	// ArenaGames and ArenaWins gate network promotion: the new
+	// network is kept if it wins strictly more than ArenaWins of
+	// ArenaGames fresh games (paper: more than 5 of 10).
+	ArenaGames int
+	ArenaWins  int
+	// PromoteOnTie additionally keeps the candidate whenever it wins
+	// at least as many arena games as it loses. In the zero/infinity
+	// ATE regime most games tie (both players reach cost zero or both
+	// dead-end), so the paper's absolute-win gate would discard every
+	// iteration's learning at laptop scale; this rule keeps the gate
+	// meaningful for decisive games without starving training.
+	PromoteOnTie bool
+	// RootNoise mixes Dirichlet noise into root priors during
+	// training runs (AlphaZero's self-play exploration); NoiseAlpha
+	// and NoiseFrac default to 0.5 and 0.25 when enabled.
+	RootNoise  bool
+	NoiseAlpha float64
+	NoiseFrac  float64
+	// Order is the coloring order for training games.
+	Order game.Order
+	// MCTS configures the search constants.
+	MCTS mcts.Config
+	// Generate produces the episode graph distribution (paper:
+	// Erdős–Rényi with normally distributed n). Required.
+	Generate func(rng *rand.Rand) *pbqp.Graph
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpisodesPerIter == 0 {
+		c.EpisodesPerIter = 100
+	}
+	if c.KTrain == 0 {
+		c.KTrain = 50
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 200_000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.TrainSteps == 0 {
+		c.TrainSteps = 2 * c.EpisodesPerIter
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.ArenaGames == 0 {
+		c.ArenaGames = 10
+	}
+	if c.ArenaWins == 0 {
+		c.ArenaWins = c.ArenaGames / 2
+	}
+	if c.NoiseAlpha == 0 {
+		c.NoiseAlpha = 0.5
+	}
+	if c.NoiseFrac == 0 {
+		c.NoiseFrac = 0.25
+	}
+	return c
+}
+
+// IterStats summarizes one training iteration.
+type IterStats struct {
+	Iteration   int
+	Episodes    int
+	Wins        int // training-run wins against the best player
+	Losses      int
+	Ties        int
+	Samples     int // tuples collected this iteration
+	ReplaySize  int
+	AvgLoss     float64
+	ArenaWins   int
+	ArenaLosses int
+	Promoted    bool // whether the new network replaced the best one
+}
+
+// String renders the stats on one line.
+func (s IterStats) String() string {
+	return fmt.Sprintf("iter %d: episodes=%d W/L/T=%d/%d/%d samples=%d replay=%d loss=%.4f arena=%d-%d promoted=%v",
+		s.Iteration, s.Episodes, s.Wins, s.Losses, s.Ties, s.Samples, s.ReplaySize, s.AvgLoss, s.ArenaWins, s.ArenaLosses, s.Promoted)
+}
+
+// Trainer runs the self-play loop.
+type Trainer struct {
+	cfg    Config
+	cur    *net.PBQPNet // θ, the network being trained
+	best   *net.PBQPNet // θ*, the best player so far
+	replay []Sample
+	opt    *nn.Adam
+	rng    *rand.Rand
+	iter   int
+}
+
+// New creates a trainer around an initial network. The network is
+// cloned for the best player.
+func New(n *net.PBQPNet, cfg Config) *Trainer {
+	cfg = cfg.withDefaults()
+	if cfg.Generate == nil {
+		panic("selfplay: Config.Generate is required")
+	}
+	return &Trainer{
+		cfg:  cfg,
+		cur:  n,
+		best: n.Clone(),
+		opt:  nn.NewAdam(cfg.LR),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Current returns the network being trained.
+func (t *Trainer) Current() *net.PBQPNet { return t.cur }
+
+// Best returns the best player's network.
+func (t *Trainer) Best() *net.PBQPNet { return t.best }
+
+// ReplaySize returns the number of tuples in the replay queue.
+func (t *Trainer) ReplaySize() int { return len(t.replay) }
+
+// RunIteration executes one iteration: EpisodesPerIter self-play
+// episodes, TrainSteps minibatch updates, and the arena gate.
+func (t *Trainer) RunIteration() IterStats {
+	t.iter++
+	stats := IterStats{Iteration: t.iter, Episodes: t.cfg.EpisodesPerIter}
+	for e := 0; e < t.cfg.EpisodesPerIter; e++ {
+		g := t.cfg.Generate(t.rng)
+		order := game.MakeOrder(g, t.cfg.Order, t.rng)
+		baseCost, _ := t.playEpisode(t.best, g, order, false)
+		curCost, samples := t.playEpisode(t.cur, g, order, true)
+		z := game.CompareCosts(curCost, baseCost)
+		switch {
+		case z > 0:
+			stats.Wins++
+		case z < 0:
+			stats.Losses++
+		default:
+			stats.Ties++
+		}
+		for i := range samples {
+			samples[i].Z = z
+		}
+		t.enqueue(samples)
+		stats.Samples += len(samples)
+	}
+	stats.ReplaySize = len(t.replay)
+	stats.AvgLoss = t.train()
+	wins, losses := t.arena()
+	stats.ArenaWins = wins
+	stats.ArenaLosses = losses
+	if wins > t.cfg.ArenaWins || (t.cfg.PromoteOnTie && wins >= losses) {
+		stats.Promoted = true
+		t.best.CopyFrom(t.cur)
+	} else {
+		// discard the candidate, as the paper does
+		t.cur.CopyFrom(t.best)
+	}
+	return stats
+}
+
+// playEpisode colors g with n, using sampling from the MCTS policy for
+// training runs (collect) and greedy argmax otherwise. It returns the
+// achieved cost (infinite on a dead end) and, for training runs, the
+// collected tuples (with Z still unset).
+func (t *Trainer) playEpisode(n *net.PBQPNet, g *pbqp.Graph, order []int, collect bool) (cost.Cost, []Sample) {
+	st := game.New(g, order)
+	tree := mcts.New(n, g.M(), t.cfg.MCTS)
+	var samples []Sample
+	for !st.Done() {
+		if st.DeadEnd() {
+			return cost.Inf, samples
+		}
+		tree.Run(st, t.cfg.KTrain)
+		if collect && t.cfg.RootNoise {
+			tree.AddRootNoise(t.rng, t.cfg.NoiseAlpha, t.cfg.NoiseFrac)
+			tree.Run(st, t.cfg.KTrain/2+1)
+		}
+		pi := tree.Policy()
+		var a int
+		if collect {
+			samples = append(samples, Sample{View: st.Snapshot(), Pi: pi.Clone()})
+			a = samplePolicy(t.rng, pi)
+		} else {
+			a = rl.Argmax(pi)
+		}
+		if a < 0 {
+			return cost.Inf, samples
+		}
+		st.Play(a)
+		tree.Advance(a)
+	}
+	return st.Acc(), samples
+}
+
+// samplePolicy draws an action from the distribution pi; it returns -1
+// if pi is all zero.
+func samplePolicy(rng *rand.Rand, pi tensor.Vec) int {
+	total := 0.0
+	for _, p := range pi {
+		total += p
+	}
+	if total == 0 {
+		return -1
+	}
+	x := rng.Float64() * total
+	for a, p := range pi {
+		x -= p
+		if x < 0 {
+			return a
+		}
+	}
+	return rl.Argmax(pi)
+}
+
+// enqueue appends samples to the replay queue, evicting the oldest
+// tuples beyond the capacity.
+func (t *Trainer) enqueue(samples []Sample) {
+	t.replay = append(t.replay, samples...)
+	if over := len(t.replay) - t.cfg.ReplayCap; over > 0 {
+		t.replay = append([]Sample(nil), t.replay[over:]...)
+	}
+}
+
+// train runs TrainSteps Adam minibatch updates over the replay queue
+// and returns the average per-sample loss (including the L2 term).
+func (t *Trainer) train() float64 {
+	if len(t.replay) == 0 {
+		return 0
+	}
+	t.cur.SetTraining(true)
+	defer t.cur.SetTraining(false)
+	totalLoss, count := 0.0, 0
+	for step := 0; step < t.cfg.TrainSteps; step++ {
+		for b := 0; b < t.cfg.BatchSize; b++ {
+			s := t.replay[t.rng.Intn(len(t.replay))]
+			logits, v := t.cur.Forward(s.View)
+			mask := net.Mask(s.View)
+			p := nn.Softmax(logits, mask)
+			totalLoss += nn.CrossEntropy(p, s.Pi) + nn.MSE(v, s.Z)
+			count++
+			dLogits := nn.CrossEntropyGrad(p, s.Pi, mask)
+			dLogits.Scale(1 / float64(t.cfg.BatchSize))
+			t.cur.Backward(dLogits, nn.MSEGrad(v, s.Z)/float64(t.cfg.BatchSize))
+		}
+		nn.AddL2Grad(t.cur.Params(), t.cfg.L2)
+		t.opt.Step(t.cur.Params())
+	}
+	avg := totalLoss/float64(count) + nn.L2Penalty(t.cur.Params(), t.cfg.L2)
+	return avg
+}
+
+// arena plays ArenaGames fresh graphs with both networks (greedy
+// inference runs) and returns how many the current network wins and
+// loses outright.
+func (t *Trainer) arena() (wins, losses int) {
+	for i := 0; i < t.cfg.ArenaGames; i++ {
+		g := t.cfg.Generate(t.rng)
+		order := game.MakeOrder(g, t.cfg.Order, t.rng)
+		curCost, _ := t.playEpisode(t.cur, g, order, false)
+		bestCost, _ := t.playEpisode(t.best, g, order, false)
+		switch game.CompareCosts(curCost, bestCost) {
+		case 1:
+			wins++
+		case -1:
+			losses++
+		}
+	}
+	return wins, losses
+}

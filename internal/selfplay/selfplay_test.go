@@ -1,0 +1,152 @@
+package selfplay
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/game"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/net"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/tensor"
+)
+
+func tinyTrainer(t *testing.T, seed int64) *Trainer {
+	t.Helper()
+	m := 4
+	n := net.New(net.Config{M: m, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: seed})
+	return New(n, Config{
+		EpisodesPerIter: 4,
+		KTrain:          8,
+		ReplayCap:       500,
+		BatchSize:       8,
+		TrainSteps:      4,
+		ArenaGames:      4,
+		ArenaWins:       2,
+		Order:           game.OrderFixed,
+		Seed:            seed,
+		Generate: func(rng *rand.Rand) *pbqp.Graph {
+			return randgraph.ErdosRenyi(rng, randgraph.Config{
+				N: 6 + rng.Intn(4), M: m, PEdge: 0.4, PInf: 0.05,
+			})
+		},
+	})
+}
+
+func TestRunIterationCollectsAndTrains(t *testing.T) {
+	tr := tinyTrainer(t, 1)
+	stats := tr.RunIteration()
+	if stats.Iteration != 1 || stats.Episodes != 4 {
+		t.Errorf("stats header wrong: %+v", stats)
+	}
+	if stats.Samples == 0 || tr.ReplaySize() == 0 {
+		t.Error("no samples collected")
+	}
+	if stats.Wins+stats.Losses+stats.Ties != stats.Episodes {
+		t.Errorf("W/L/T does not add up: %+v", stats)
+	}
+	if stats.AvgLoss <= 0 {
+		t.Errorf("avg loss = %v", stats.AvgLoss)
+	}
+	if len(stats.String()) == 0 {
+		t.Error("empty stats string")
+	}
+}
+
+func TestSamplesHaveConsistentLabels(t *testing.T) {
+	tr := tinyTrainer(t, 2)
+	tr.RunIteration()
+	for i, s := range tr.replay {
+		if s.Z != 1 && s.Z != -1 && s.Z != 0 {
+			t.Fatalf("sample %d has reward %v", i, s.Z)
+		}
+		sum := 0.0
+		for _, p := range s.Pi {
+			if p < 0 {
+				t.Fatalf("sample %d has negative policy", i)
+			}
+			sum += p
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("sample %d policy sums to %v", i, sum)
+		}
+		if s.View.N() == 0 {
+			t.Fatalf("sample %d has empty view", i)
+		}
+	}
+}
+
+func TestReplayCapEvictsOldest(t *testing.T) {
+	tr := tinyTrainer(t, 3)
+	tr.cfg.ReplayCap = 10
+	tr.RunIteration()
+	if got := tr.ReplaySize(); got > 10 {
+		t.Errorf("replay size = %d, cap 10", got)
+	}
+}
+
+func TestPromotionGate(t *testing.T) {
+	tr := tinyTrainer(t, 4)
+	stats := tr.RunIteration()
+	// whatever the outcome, cur and best must agree afterwards:
+	// promoted -> best := cur; rejected -> cur := best.
+	view := sampleView(t)
+	pc, vc := tr.Current().Evaluate(view)
+	pb, vb := tr.Best().Evaluate(view)
+	if vc != vb {
+		t.Errorf("cur and best diverge after gate (promoted=%v)", stats.Promoted)
+	}
+	for i := range pc {
+		if pc[i] != pb[i] {
+			t.Fatalf("cur and best priors diverge after gate")
+		}
+	}
+}
+
+func sampleView(t *testing.T) gcn.View {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 5, M: 4, PEdge: 0.5, PInf: 0.05})
+	st := game.New(g, game.MakeOrder(g, game.OrderFixed, nil))
+	return st.Snapshot()
+}
+
+func TestSamplePolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pi := tensor.Vec{0, 0.7, 0.3}
+	counts := [3]int{}
+	for i := 0; i < 3000; i++ {
+		a := samplePolicy(rng, pi)
+		if a < 0 || a > 2 {
+			t.Fatalf("sampled %d", a)
+		}
+		counts[a]++
+	}
+	if counts[0] != 0 {
+		t.Error("zero-probability action sampled")
+	}
+	if counts[1] < 1800 || counts[1] > 2400 {
+		t.Errorf("action 1 sampled %d/3000, want ~2100", counts[1])
+	}
+	if samplePolicy(rng, tensor.Vec{0, 0}) != -1 {
+		t.Error("all-zero policy should return -1")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a, b := tinyTrainer(t, 7), tinyTrainer(t, 7)
+	sa, sb := a.RunIteration(), b.RunIteration()
+	if sa.Wins != sb.Wins || sa.Samples != sb.Samples || sa.AvgLoss != sb.AvgLoss {
+		t.Errorf("same seed diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestMissingGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(net.New(net.Config{M: 2, Seed: 1}), Config{})
+}

@@ -1,0 +1,94 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/solve/brute"
+)
+
+func TestNearOptimalOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	worse := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		g := randgraph.ErdosRenyi(rng, randgraph.Config{
+			N: 4 + rng.Intn(6), M: 2 + rng.Intn(3), PEdge: 0.5, PInf: 0.05,
+		})
+		opt := (brute.Solver{}).Solve(g)
+		res := Solver{Seed: int64(trial)}.Solve(g)
+		if !opt.Feasible {
+			continue
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: annealing infeasible on a feasible graph", trial)
+		}
+		if float64(res.Cost) > float64(opt.Cost)*1.3+1e-9 {
+			worse++
+		}
+	}
+	if worse > trials/4 {
+		t.Errorf("annealing was >30%% off optimal on %d/%d graphs", worse, trials)
+	}
+}
+
+func TestSelectionMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 15, M: 4, PEdge: 0.3, PInf: 0.1})
+	res := Solver{Seed: 7}.Solve(g)
+	if res.Feasible {
+		if got := g.TotalCost(res.Selection); got.IsInf() || float64(got-res.Cost) > 1e-6 || float64(res.Cost-got) > 1e-6 {
+			t.Errorf("reported %v, selection costs %v", res.Cost, got)
+		}
+	}
+}
+
+func TestSolvesZeroInfAsRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	solved := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+			N: 20, M: 13, PEdge: 0.2, HardRatio: 0.3, PEdgeInf: 0.2,
+		})
+		res := Solver{Steps: 50_000, Seed: int64(trial)}.Solve(g)
+		if res.Feasible && g.TotalCost(res.Selection) == 0 {
+			solved++
+		}
+	}
+	if solved < trials/2 {
+		t.Errorf("annealing repaired only %d/%d zero/inf graphs", solved, trials)
+	}
+	t.Logf("annealing solved %d/%d zero/inf graphs", solved, trials)
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randgraph.ErdosRenyi(rng, randgraph.Config{N: 12, M: 3, PEdge: 0.4, PInf: 0.1})
+	a := Solver{Seed: 5}.Solve(g)
+	b := Solver{Seed: 5}.Solve(g)
+	if a.Cost != b.Cost || a.States != b.States {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if res := (Solver{}).Solve(pbqp.New(0, 2)); !res.Feasible {
+		t.Error("empty graph infeasible")
+	}
+	g := pbqp.New(1, 3)
+	g.SetVertexCost(0, cost.Vector{cost.Inf, 4, 9})
+	res := Solver{Seed: 1}.Solve(g)
+	if !res.Feasible || res.Cost != 4 {
+		t.Errorf("singleton: %+v", res)
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Solver{}).Name() != "anneal" {
+		t.Error("wrong name")
+	}
+}

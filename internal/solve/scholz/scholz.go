@@ -1,0 +1,224 @@
+// Package scholz implements the original PBQP solver of Scholz and
+// Eckstein (LCTES 2002), as used by LLVM's PBQP register allocator.
+//
+// The solver repeatedly removes the vertex of minimum degree:
+//
+//   - degree 0 (R0): the vertex is independent; its color is the local
+//     minimum, chosen during back-propagation.
+//   - degree 1 (R1): the vertex's vector and edge matrix are folded into
+//     its neighbor's vector; the reduction is exact.
+//   - degree 2 (R2): the vertex is folded into a (possibly new) edge
+//     between its two neighbors; the reduction is exact.
+//   - degree ≥ 3 (RN): a heuristic, possibly sub-optimal color is chosen
+//     immediately — the minimizer of the vertex cost plus each incident
+//     edge's row minimum — and the selected rows are propagated to the
+//     neighbors.
+//
+// After the graph is empty, colors are assigned in reverse removal order.
+// For graphs whose vertices are mostly high degree with zero/infinity
+// costs (ATE programs), RN frequently picks a row that later turns out
+// infeasible, which is why the paper reports this solver failing for
+// 9 of 10 ATE programs.
+package scholz
+
+import (
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/solve"
+)
+
+// Solver is the Scholz–Eckstein reduction solver.
+type Solver struct{}
+
+// Name implements solve.Solver.
+func (Solver) Name() string { return "scholz" }
+
+type reductionKind int
+
+const (
+	r0 reductionKind = iota
+	r1
+	r2
+	rn
+)
+
+// record captures one reduction so back-propagation can re-derive the
+// removed vertex's color from its (by then colored) former neighbors.
+type record struct {
+	kind   reductionKind
+	u      int
+	vec    cost.Vector // u's vector at removal time
+	nbrs   []int       // former neighbors (1 for R1, 2 for R2, any for RN)
+	mats   []*cost.Matrix
+	chosen int // RN: color decided at reduction time
+}
+
+// Solve implements solve.Solver.
+func (Solver) Solve(g *pbqp.Graph) solve.Result {
+	w := g.Clone()
+	var stack []record
+	var states int64
+
+	for w.AliveCount() > 0 {
+		states++
+		u := minDegreeVertex(w)
+		switch w.Degree(u) {
+		case 0:
+			stack = append(stack, record{kind: r0, u: u, vec: w.VertexCost(u).Clone()})
+			w.RemoveVertex(u)
+		case 1:
+			stack = append(stack, reduceR1(w, u))
+		case 2:
+			stack = append(stack, reduceR2(w, u))
+		default:
+			stack = append(stack, reduceRN(w, u))
+		}
+	}
+
+	sel := make(pbqp.Selection, g.NumVertices())
+	for i := range sel {
+		sel[i] = -1
+	}
+	feasible := true
+	for i := len(stack) - 1; i >= 0; i-- {
+		rec := stack[i]
+		c := rec.backPropagate(sel)
+		if c < 0 {
+			feasible = false
+			c = 0 // arbitrary; the assignment is infeasible anyway
+		}
+		sel[rec.u] = c
+	}
+	for i := range sel {
+		if !g.Alive(i) {
+			sel[i] = 0
+		}
+	}
+	total := g.TotalCost(sel)
+	return solve.Result{
+		Selection: sel,
+		Cost:      total,
+		Feasible:  feasible && !total.IsInf(),
+		States:    states,
+	}
+}
+
+// minDegreeVertex returns the alive vertex with the fewest incident
+// edges, breaking ties by index for determinism.
+func minDegreeVertex(g *pbqp.Graph) int {
+	best, bestDeg := -1, 0
+	for _, u := range g.Vertices() {
+		d := g.Degree(u)
+		if best == -1 || d < bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// reduceR1 folds degree-1 vertex u into its single neighbor y:
+// vec[y][j] += min_i (vec[u][i] + M_uy[i][j]).
+func reduceR1(g *pbqp.Graph, u int) record {
+	y := g.Neighbors(u)[0]
+	m := g.EdgeCost(u, y).Clone()
+	vec := g.VertexCost(u).Clone()
+	delta := make(cost.Vector, g.M())
+	for j := 0; j < g.M(); j++ {
+		best := cost.Inf
+		for i := 0; i < g.M(); i++ {
+			if c := vec[i].Add(m.At(i, j)); c.Less(best) {
+				best = c
+			}
+		}
+		delta[j] = best
+	}
+	g.AddToVertexCost(y, delta)
+	g.RemoveVertex(u)
+	return record{kind: r1, u: u, vec: vec, nbrs: []int{y}, mats: []*cost.Matrix{m}}
+}
+
+// reduceR2 folds degree-2 vertex u into the edge between its neighbors
+// (y, z): Δ[jy][jz] = min_i (vec[u][i] + M_uy[i][jy] + M_uz[i][jz]).
+func reduceR2(g *pbqp.Graph, u int) record {
+	ns := g.Neighbors(u)
+	y, z := ns[0], ns[1]
+	my := g.EdgeCost(u, y).Clone()
+	mz := g.EdgeCost(u, z).Clone()
+	vec := g.VertexCost(u).Clone()
+	m := g.M()
+	delta := cost.NewMatrix(m, m)
+	for jy := 0; jy < m; jy++ {
+		for jz := 0; jz < m; jz++ {
+			best := cost.Inf
+			for i := 0; i < m; i++ {
+				if c := vec[i].Add(my.At(i, jy)).Add(mz.At(i, jz)); c.Less(best) {
+					best = c
+				}
+			}
+			delta.Set(jy, jz, best)
+		}
+	}
+	g.RemoveVertex(u)
+	g.AddEdgeCost(y, z, delta)
+	if g.EdgeCost(y, z).IsZero() {
+		g.RemoveEdge(y, z)
+	}
+	return record{kind: r2, u: u, vec: vec, nbrs: []int{y, z}, mats: []*cost.Matrix{my, mz}}
+}
+
+// reduceRN heuristically colors high-degree vertex u with the minimizer
+// of its own cost plus, per incident edge, the best achievable combined
+// edge-plus-neighbor cost (LLVM's RN local minimum), then propagates the
+// selected rows (the paper's transition T) to the neighbors.
+func reduceRN(g *pbqp.Graph, u int) record {
+	ns := g.Neighbors(u)
+	vec := g.VertexCost(u).Clone()
+	mats := make([]*cost.Matrix, len(ns))
+	for k, v := range ns {
+		mats[k] = g.EdgeCost(u, v).Clone()
+	}
+	best, bestCost := -1, cost.Inf
+	for i := 0; i < g.M(); i++ {
+		c := vec[i]
+		for k, m := range mats {
+			nvec := g.VertexCost(ns[k])
+			local := cost.Inf
+			for j := 0; j < g.M(); j++ {
+				if combined := m.At(i, j).Add(nvec[j]); combined.Less(local) {
+					local = combined
+				}
+			}
+			c = c.Add(local)
+		}
+		if best == -1 || c.Less(bestCost) {
+			best, bestCost = i, c
+		}
+	}
+	g.ColorVertex(u, best)
+	return record{kind: rn, u: u, vec: vec, nbrs: ns, mats: mats, chosen: best}
+}
+
+// backPropagate re-derives the color of the removed vertex given the
+// already-assigned colors of its former neighbors. It returns -1 when
+// every color is infinite (infeasible).
+func (rec *record) backPropagate(sel pbqp.Selection) int {
+	switch rec.kind {
+	case rn:
+		return rec.chosen
+	case r0:
+		_, idx := rec.vec.Min()
+		return idx
+	default:
+		best, bestCost := -1, cost.Inf
+		for i := range rec.vec {
+			c := rec.vec[i]
+			for k, v := range rec.nbrs {
+				c = c.Add(rec.mats[k].At(i, sel[v]))
+			}
+			if !c.IsInf() && (best == -1 || c.Less(bestCost)) {
+				best, bestCost = i, c
+			}
+		}
+		return best
+	}
+}

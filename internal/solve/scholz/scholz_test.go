@@ -1,0 +1,181 @@
+package scholz
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/solve/brute"
+)
+
+func fig2Graph() *pbqp.Graph {
+	g := pbqp.New(3, 2)
+	g.SetVertexCost(0, cost.Vector{5, 2})
+	g.SetVertexCost(1, cost.Vector{5, 0})
+	g.SetVertexCost(2, cost.Vector{0, 0})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{{1, 3}, {7, 8}}))
+	g.SetEdgeCost(1, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 4}, {9, 6}}))
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{{0, 2}, {5, 3}}))
+	return g
+}
+
+func TestFig2IsSolvedOptimally(t *testing.T) {
+	// a triangle reduces by R2/R1/R0 only, all exact
+	res := Solver{}.Solve(fig2Graph())
+	if !res.Feasible || res.Cost != 11 {
+		t.Errorf("got (%v, feasible=%v), want (11, true)", res.Cost, res.Feasible)
+	}
+}
+
+func TestDoesNotMutateInput(t *testing.T) {
+	g := fig2Graph()
+	before := g.String()
+	Solver{}.Solve(g)
+	if g.String() != before {
+		t.Error("Solve mutated its input")
+	}
+}
+
+func TestLowDegreeGraphsAreOptimal(t *testing.T) {
+	// Graphs whose reduction never needs RN (max degree ≤ 2 at every
+	// step): paths and cycles. The solver must match the brute optimum.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(3)
+		g := pbqp.New(n, m)
+		for u := 0; u < n; u++ {
+			vec := make(cost.Vector, m)
+			for i := range vec {
+				vec[i] = cost.Cost(rng.Intn(20))
+			}
+			g.SetVertexCost(u, vec)
+		}
+		addRandEdge := func(u, v int) {
+			mat := cost.NewMatrix(m, m)
+			for i := range mat.Data {
+				mat.Data[i] = cost.Cost(rng.Intn(20))
+			}
+			if mat.IsZero() {
+				mat.Set(0, 0, 1)
+			}
+			g.SetEdgeCost(u, v, mat)
+		}
+		for u := 0; u+1 < n; u++ {
+			addRandEdge(u, u+1)
+		}
+		if trial%2 == 0 {
+			addRandEdge(n-1, 0) // close the cycle
+		}
+		want := (brute.Solver{}).Solve(g)
+		got := Solver{}.Solve(g)
+		if !got.Feasible {
+			t.Fatalf("trial %d: infeasible on a finite graph", trial)
+		}
+		if d := float64(got.Cost - want.Cost); d > 1e-9 || d < -1e-9 {
+			t.Fatalf("trial %d: cost %v, optimum %v", trial, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestRandomGraphsSelectionConsistent(t *testing.T) {
+	// On general graphs the RN heuristic may be sub-optimal, but the
+	// reported cost must always equal the cost of the reported
+	// selection, and must never beat the true optimum.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		g := randgraph.ErdosRenyi(rng, randgraph.Config{
+			N: 3 + rng.Intn(7), M: 2 + rng.Intn(3), PEdge: 0.6, PInf: 0.1,
+		})
+		got := Solver{}.Solve(g)
+		if got.Feasible {
+			if c := g.TotalCost(got.Selection); !approxEq(c, got.Cost) {
+				t.Fatalf("trial %d: cost %v but selection costs %v", trial, got.Cost, c)
+			}
+			want := (brute.Solver{}).Solve(g)
+			if got.Cost.Less(want.Cost) && !approxEq(got.Cost, want.Cost) {
+				t.Fatalf("trial %d: beat the optimum: %v < %v", trial, got.Cost, want.Cost)
+			}
+		}
+	}
+}
+
+func TestDisconnectedVertices(t *testing.T) {
+	g := pbqp.New(3, 2)
+	g.SetVertexCost(0, cost.Vector{4, 7})
+	g.SetVertexCost(1, cost.Vector{9, 1})
+	g.SetVertexCost(2, cost.Vector{cost.Inf, 3})
+	res := Solver{}.Solve(g)
+	if !res.Feasible || res.Cost != 8 {
+		t.Errorf("got (%v, %v), want (8, true)", res.Cost, res.Feasible)
+	}
+	if res.Selection[0] != 0 || res.Selection[1] != 1 || res.Selection[2] != 1 {
+		t.Errorf("selection = %v", res.Selection)
+	}
+}
+
+func TestInfeasibleVertex(t *testing.T) {
+	g := pbqp.New(1, 2)
+	g.SetVertexCost(0, cost.NewInfVector(2))
+	res := Solver{}.Solve(g)
+	if res.Feasible {
+		t.Error("reported feasible for an all-inf vertex")
+	}
+}
+
+// TestATEStyleOftenFails reproduces the Section V-B observation that the
+// original solver, which approximates all high-degree vertices, usually
+// fails on dense zero/infinity graphs even though a solution exists.
+func TestATEStyleOftenFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	failures := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+			N: 60, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.35,
+		})
+		if res := (Solver{}).Solve(g); !res.Feasible {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("scholz never failed on dense zero/inf graphs; RN heuristic suspiciously strong")
+	}
+	t.Logf("scholz failed %d/%d dense zero/inf graphs", failures, trials)
+}
+
+func TestR2CreatesEdge(t *testing.T) {
+	// star: center 0 connected to 1 and 2 (degree 2), no edge (1,2);
+	// R2 on vertex 0 must create edge (1,2) and stay exact.
+	g := pbqp.New(3, 2)
+	g.SetVertexCost(0, cost.Vector{1, 5})
+	g.SetVertexCost(1, cost.Vector{0, 2})
+	g.SetVertexCost(2, cost.Vector{3, 0})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{{0, 6}, {2, 0}}))
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{{4, 0}, {0, 3}}))
+	want := (brute.Solver{}).Solve(g)
+	got := Solver{}.Solve(g)
+	if !got.Feasible || got.Cost != want.Cost {
+		t.Errorf("got %v, want %v", got.Cost, want.Cost)
+	}
+}
+
+func TestStatesCounted(t *testing.T) {
+	res := Solver{}.Solve(fig2Graph())
+	if res.States != 3 {
+		t.Errorf("states = %d, want 3 (one per reduction)", res.States)
+	}
+}
+
+func approxEq(a, b cost.Cost) bool {
+	if a.IsInf() || b.IsInf() {
+		return a.IsInf() == b.IsInf()
+	}
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+float64(a)+float64(b))
+}

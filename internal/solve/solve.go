@@ -1,0 +1,37 @@
+// Package solve defines the common interface of PBQP solvers and the
+// statistics they report. Concrete solvers live in the subpackages
+// brute (exact branch and bound), scholz (the original Scholz–Eckstein
+// reduction solver) and liberty (the liberty-based enumeration solver of
+// Kim et al., TACO 2020); the Deep-RL solver lives in internal/rl.
+package solve
+
+import (
+	"pbqprl/internal/cost"
+	"pbqprl/internal/pbqp"
+)
+
+// Result is the outcome of solving one PBQP problem.
+type Result struct {
+	// Selection is the color chosen for each vertex. It is only
+	// meaningful when Feasible is true.
+	Selection pbqp.Selection
+	// Cost is the total cost of Selection (Equation 1), or cost.Inf
+	// when no finite-cost assignment was found.
+	Cost cost.Cost
+	// Feasible reports whether a finite-cost assignment was found.
+	Feasible bool
+	// States counts the search states the solver explored: one per
+	// attempted (vertex, color) assignment for enumeration solvers,
+	// one per reduction step for reduction solvers. It is the paper's
+	// search-space metric.
+	States int64
+}
+
+// Solver solves PBQP problems.
+type Solver interface {
+	// Name identifies the solver in experiment reports.
+	Name() string
+	// Solve finds a (locally or globally) minimal coloring of g.
+	// Implementations must not retain or mutate g.
+	Solve(g *pbqp.Graph) Result
+}

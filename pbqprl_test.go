@@ -1,0 +1,92 @@
+package pbqprl_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pbqprl"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// shows: build the Figure 2 graph, solve it with every solver, reduce
+// it, round-trip it through the text format.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := pbqprl.NewGraph(3, 2)
+	g.SetVertexCost(0, pbqprl.Vector{5, 2})
+	g.SetVertexCost(1, pbqprl.Vector{5, 0})
+	g.SetVertexCost(2, pbqprl.Vector{0, 0})
+	m01 := &pbqprl.Matrix{Rows: 2, Cols: 2, Data: []pbqprl.Cost{1, 3, 7, 8}}
+	m12 := &pbqprl.Matrix{Rows: 2, Cols: 2, Data: []pbqprl.Cost{0, 4, 9, 6}}
+	m02 := &pbqprl.Matrix{Rows: 2, Cols: 2, Data: []pbqprl.Cost{0, 2, 5, 3}}
+	g.SetEdgeCost(0, 1, m01)
+	g.SetEdgeCost(1, 2, m12)
+	g.SetEdgeCost(0, 2, m02)
+
+	solvers := []pbqprl.Solver{
+		pbqprl.Brute(0),
+		pbqprl.Scholz(),
+		pbqprl.Liberty(1_000_000),
+		pbqprl.Anneal(5000, 1),
+		pbqprl.NewDeepRL(pbqprl.UniformEvaluator{}, pbqprl.DeepRLConfig{
+			K: 100, Order: pbqprl.OrderFixed, Baseline: 12, HasBaseline: true,
+		}),
+	}
+	for _, s := range solvers {
+		res := s.Solve(g)
+		if !res.Feasible || res.Cost != 11 {
+			t.Errorf("%s: cost %v feasible %v, want 11", s.Name(), res.Cost, res.Feasible)
+		}
+	}
+
+	r := pbqprl.Reduce(g)
+	if r.Graph.AliveCount() != 0 {
+		t.Error("triangle should reduce completely")
+	}
+	sel, ok := r.Expand(make(pbqprl.Selection, 3))
+	if !ok || g.TotalCost(sel) != 11 {
+		t.Errorf("reduce+expand = %v (%v)", g.TotalCost(sel), ok)
+	}
+
+	var sb strings.Builder
+	if err := pbqprl.WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pbqprl.ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 3 || back.M() != 2 {
+		t.Error("round trip lost shape")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := pbqprl.ErdosRenyi(rng, pbqprl.ErdosRenyiConfig{N: 10, M: 3, PEdge: 0.4, PInf: 0.05})
+	if g.NumVertices() != 10 {
+		t.Error("ER generator wrong size")
+	}
+	z, hidden := pbqprl.ZeroInf(rng, pbqprl.ZeroInfConfig{N: 12, M: 5, PEdge: 0.3, HardRatio: 0.4, PEdgeInf: 0.2})
+	if z.TotalCost(hidden) != 0 {
+		t.Error("hidden solution invalid")
+	}
+}
+
+func TestFacadeTrainer(t *testing.T) {
+	n := pbqprl.NewNet(pbqprl.NetConfig{M: 3, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: 2})
+	tr := pbqprl.NewTrainer(n, pbqprl.TrainerConfig{
+		EpisodesPerIter: 2, KTrain: 4, ArenaGames: 2, ArenaWins: 1,
+		Generate: func(rng *rand.Rand) *pbqprl.Graph {
+			return pbqprl.ErdosRenyi(rng, pbqprl.ErdosRenyiConfig{N: 5, M: 3, PEdge: 0.4, PInf: 0})
+		},
+		Seed: 3,
+	})
+	stats := tr.RunIteration()
+	if stats.Iteration != 1 || stats.Samples == 0 {
+		t.Errorf("trainer stats: %+v", stats)
+	}
+	if pbqprl.Inf.IsInf() != true {
+		t.Error("Inf constant broken")
+	}
+}
