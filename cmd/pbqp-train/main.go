@@ -1,23 +1,39 @@
 // Command pbqp-train runs the self-play training pipeline of Section
-// IV-A and writes network checkpoints.
+// IV-A with fault-tolerant checkpointing.
 //
 // Usage:
 //
 //	pbqp-train [-iters N] [-episodes N] [-ktrain N] [-regime ate|er] [-out net.gob] [-seed S]
+//	           [-resume] [-checkpoint-dir DIR] [-checkpoint-every N] [-checkpoint-keep K]
 //
 // The "ate" regime trains on zero/infinity graphs with the ATE
 // statistics; "er" trains on the paper's Erdős–Rényi distribution with
 // a 1 % infinity ratio. Paper-scale parameters (-iters 200 -episodes
 // 100) reproduce the full two-week run if you have the patience; the
 // defaults finish in minutes.
+//
+// The trainer checkpoints its complete state (both networks, Adam
+// moments, replay queue, RNG stream, iteration position) atomically
+// every -checkpoint-every iterations. SIGINT/SIGTERM finishes the
+// in-flight episode, checkpoints, and exits cleanly; restarting with
+// -resume (and the same flags) continues bit-identically to an
+// uninterrupted run. A truncated or corrupt newest checkpoint is
+// detected by checksum and the run falls back to the previous valid
+// one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"pbqprl/internal/checkpoint"
 	"pbqprl/internal/experiments"
 	"pbqprl/internal/game"
 	"pbqprl/internal/net"
@@ -31,10 +47,16 @@ func main() {
 	episodes := flag.Int("episodes", 20, "episodes per iteration (paper: 100)")
 	ktrain := flag.Int("ktrain", 50, "MCTS simulations per move (paper: 50 or 100)")
 	regime := flag.String("regime", "ate", "training distribution: ate (zero/inf) or er (Erdős–Rényi, p_inf=1%)")
-	out := flag.String("out", "pbqp-net.gob", "checkpoint output path")
+	out := flag.String("out", "pbqp-net.gob", "best-network output path")
 	seed := flag.Int64("seed", 1, "training seed")
 	meanN := flag.Float64("mean-n", 36, "mean graph size (paper: 100)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (default: <out>.ckpts)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every N completed iterations (0 disables periodic checkpoints)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoints retained on disk")
+	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
 	flag.Parse()
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pbqp-train: ")
 
 	var gen func(*rand.Rand) *pbqp.Graph
 	var order game.Order
@@ -62,26 +84,90 @@ func main() {
 	}
 
 	n := net.New(experiments.DefaultNetConfig())
-	trainer := selfplay.New(n, selfplay.Config{
+	trainer, err := selfplay.NewTrainer(n, selfplay.Config{
 		EpisodesPerIter: *episodes,
 		KTrain:          *ktrain,
 		Order:           order,
 		Generate:        gen,
 		Seed:            *seed,
+		Logf:            log.Printf,
 	})
-	for i := 0; i < *iters; i++ {
-		stats := trainer.RunIteration()
-		fmt.Println(stats)
-	}
-	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pbqp-train:", err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := trainer.Best().Save(f); err != nil {
-		fmt.Fprintln(os.Stderr, "pbqp-train:", err)
-		os.Exit(1)
+
+	if *ckptDir == "" {
+		*ckptDir = *out + ".ckpts"
+	}
+	store, err := checkpoint.NewStore(*ckptDir, *ckptKeep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Logf = log.Printf
+
+	if *resume {
+		id, payload, err := store.LoadLatest()
+		switch {
+		case err == nil:
+			if err := trainer.DecodeState(payload); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("resumed from checkpoint %d (%d iterations complete)", id, trainer.Iter())
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			log.Printf("no checkpoint in %s; starting fresh", store.Dir())
+		default:
+			log.Fatal(err)
+		}
+	}
+
+	// SIGINT/SIGTERM cancels the context; the trainer finishes the
+	// in-flight episode, we checkpoint the (mid-iteration) state, and
+	// exit cleanly so -resume continues exactly where this run stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	save := func() {
+		payload, err := trainer.EncodeState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Save(trainer.Iter(), payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	interrupted := false
+	for trainer.Iter() < *iters {
+		stats, err := trainer.RunIteration(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				save()
+				log.Printf("interrupted during iteration %d; state checkpointed to %s — rerun with -resume", trainer.Iter()+1, store.Dir())
+				interrupted = true
+				break
+			}
+			// divergence or another unrecoverable error: do NOT
+			// checkpoint the poisoned state
+			log.Fatal(err)
+		}
+		fmt.Println(stats)
+		if *ckptEvery > 0 && trainer.Iter()%*ckptEvery == 0 {
+			save()
+		}
+	}
+	if interrupted {
+		return
+	}
+	if *ckptEvery > 0 && *iters%*ckptEvery != 0 {
+		save()
+	}
+
+	data, err := trainer.Best().SaveBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := checkpoint.WriteFileAtomic(*out, data); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("saved best network to %s\n", *out)
 }

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"pbqprl/internal/game"
 	"pbqprl/internal/mcts"
@@ -36,7 +38,12 @@ func main() {
 	})
 	fmt.Println("training (each iteration: self-play episodes, gradient steps, arena gate):")
 	for i := 0; i < 3; i++ {
-		fmt.Println(" ", trainer.RunIteration())
+		stats, err := trainer.RunIteration(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "training failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(" ", stats)
 	}
 
 	fmt.Println("\nevaluating trained vs uniform MCTS on 10 fresh graphs (backtracking, k=25):")

@@ -1,0 +1,226 @@
+// Package checkpoint provides crash-safe checkpoint files for the
+// training pipeline: every file is written atomically (write to a temp
+// file in the same directory, sync, rename) and framed with a magic
+// string, a format version, and a CRC32 checksum over the payload, so a
+// torn or bit-rotted write is detected on load instead of being
+// deserialized into garbage. A Store manages a directory of numbered
+// checkpoints with keep-last-K rotation and falls back to the newest
+// valid file when the latest one is corrupt.
+//
+// The payload is opaque bytes; callers bring their own serialization
+// (the trainer uses gob).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	// magic identifies a checkpoint file; it never changes across
+	// versions so that stale files are reported as version mismatches
+	// rather than foreign garbage.
+	magic = "PBQPCKPT"
+	// Version is the current checkpoint frame version. Bump it when the
+	// frame layout (not the payload) changes incompatibly.
+	Version = 1
+	// Ext is the checkpoint file extension used by Store.
+	Ext = ".ckpt"
+
+	headerSize = len(magic) + 4 + 4 + 8 // magic, version, crc32, payload length
+)
+
+// ErrCorrupt marks a file that is not a complete, valid checkpoint:
+// truncated, checksum mismatch, wrong magic, or wrong version. Returned
+// errors wrap it, so use errors.Is to test.
+var ErrCorrupt = errors.New("corrupt checkpoint")
+
+// ErrNoCheckpoint is returned by Store.LoadLatest when the directory
+// holds no valid checkpoint at all.
+var ErrNoCheckpoint = errors.New("no valid checkpoint found")
+
+// Write frames payload (magic, version, CRC32, length) and writes it
+// atomically to path: a reader never observes a partially written file,
+// and a crash mid-write leaves any previous checkpoint at path intact.
+func Write(path string, payload []byte) error {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[8:12], Version)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	return WriteFileAtomic(path, buf)
+}
+
+// Read loads and validates a checkpoint written by Write, returning the
+// payload. Validation failures wrap ErrCorrupt.
+func Read(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %s: %d bytes, shorter than the %d-byte header", ErrCorrupt, path, len(data), headerSize)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: %s: format version %d, want %d", ErrCorrupt, path, v, Version)
+	}
+	sum := binary.LittleEndian.Uint32(data[12:16])
+	want := binary.LittleEndian.Uint64(data[16:24])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != want {
+		return nil, fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, len(payload), want)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrCorrupt, path, got, sum)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory followed by a rename, syncing before the rename and
+// checking every close error. On any error path either keeps its old
+// content or does not exist; it is never left truncated.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// some filesystems don't support fsync on directories.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Store manages numbered checkpoints (ckpt-00000042.ckpt) in one
+// directory with keep-last-K rotation.
+type Store struct {
+	dir  string
+	keep int
+	// Logf receives warnings about skipped corrupt checkpoints; nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewStore opens (creating if needed) a checkpoint directory that
+// retains the keep newest checkpoints; keep <= 0 means 3.
+func NewStore(dir string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path used for checkpoint id.
+func (s *Store) Path(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d%s", id, Ext))
+}
+
+// IDs returns the checkpoint ids present on disk, ascending. Files that
+// don't match the naming scheme are ignored.
+func (s *Store) IDs() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), Ext))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// Save atomically writes payload as checkpoint id and prunes all but
+// the keep newest checkpoints. Saving an existing id replaces it.
+func (s *Store) Save(id int, payload []byte) error {
+	if err := Write(s.Path(id), payload); err != nil {
+		return err
+	}
+	return s.prune()
+}
+
+// LoadLatest returns the newest checkpoint that validates, skipping (and
+// logging) corrupt ones, so a crash during the most recent save falls
+// back to the previous good state. It returns ErrNoCheckpoint when
+// nothing valid remains.
+func (s *Store) LoadLatest() (id int, payload []byte, err error) {
+	ids, err := s.IDs()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		payload, err := Read(s.Path(ids[i]))
+		if err == nil {
+			return ids[i], payload, nil
+		}
+		s.logf("checkpoint: skipping %s: %v", s.Path(ids[i]), err)
+	}
+	return 0, nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, s.dir)
+}
+
+func (s *Store) prune() error {
+	ids, err := s.IDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids[:max(0, len(ids)-s.keep)] {
+		if err := os.Remove(s.Path(id)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}

@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	payload := []byte("the trainer state")
+	if err := Write(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload round trip: got %q", got)
+	}
+}
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	if err := Write(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Errorf("got %q, want new", got)
+	}
+	// no temp files left behind
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, mutate func([]byte) []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := Write(path, []byte("payload bytes")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"truncated-header":  write("a.ckpt", func(b []byte) []byte { return b[:10] }),
+		"truncated-payload": write("b.ckpt", func(b []byte) []byte { return b[:len(b)-3] }),
+		"flipped-bit": write("c.ckpt", func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		}),
+		"bad-magic": write("d.ckpt", func(b []byte) []byte {
+			copy(b, "NOTACKPT")
+			return b
+		}),
+		"bad-version": write("e.ckpt", func(b []byte) []byte {
+			b[8] = 99
+			return b
+		}),
+	}
+	for name, path := range cases {
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestReadMissingFileIsNotCorrupt(t *testing.T) {
+	_, err := Read(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing file: err = %v, want plain os error", err)
+	}
+}
+
+func TestStoreRotationKeepsLastK(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		if err := store.Save(i, []byte(fmt.Sprintf("state %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := store.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{5, 6, 7}; len(ids) != 3 || ids[0] != want[0] || ids[1] != want[1] || ids[2] != want[2] {
+		t.Errorf("ids after rotation = %v, want %v", ids, want)
+	}
+	id, payload, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || string(payload) != "state 7" {
+		t.Errorf("latest = %d %q", id, payload)
+	}
+}
+
+func TestStoreFallsBackPastCorruptLatest(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	store.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	for i := 1; i <= 3; i++ {
+		if err := store.Save(i, []byte(fmt.Sprintf("state %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// simulate a crash mid-write of the newest checkpoint
+	data, err := os.ReadFile(store.Path(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(3), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	id, payload, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 || string(payload) != "state 2" {
+		t.Errorf("fallback loaded %d %q, want 2 \"state 2\"", id, payload)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "skipping") {
+		t.Errorf("expected one skip warning, got %v", warnings)
+	}
+}
+
+func TestStoreLoadLatestEmpty(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	store, err := NewStore(filepath.Join(t.TempDir(), "ckpts"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store.Dir(), "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(1, []byte("state 1")); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("ids = %v, want [1]", ids)
+	}
+}

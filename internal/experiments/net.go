@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"sync"
 
 	"pbqprl/internal/ate"
+	"pbqprl/internal/checkpoint"
 	"pbqprl/internal/game"
 	"pbqprl/internal/net"
 	"pbqprl/internal/pbqp"
@@ -124,17 +126,19 @@ func trainedNetWith(spec TrainSpec, gen func(*rand.Rand) *pbqp.Graph, order game
 		Seed:         spec.Seed,
 	})
 	for i := 0; i < spec.Iterations; i++ {
-		stats := trainer.RunIteration()
+		stats, err := trainer.RunIteration(context.Background())
+		if err != nil {
+			panic("experiments: training failed: " + err.Error())
+		}
 		if progress != nil {
 			progress(stats.String())
 		}
 	}
 	best := trainer.Best()
-	if f, err := os.Create(path); err == nil {
-		if err := best.Save(f); err != nil {
-			os.Remove(path)
-		}
-		f.Close()
+	// best-effort disk cache; the atomic write keeps a concurrent
+	// reader from seeing a torn file
+	if data, err := best.SaveBytes(); err == nil {
+		_ = checkpoint.WriteFileAtomic(path, data)
 	}
 	netCache[key] = best
 	return best

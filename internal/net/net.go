@@ -18,6 +18,7 @@
 package net
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
 
@@ -199,6 +200,19 @@ func (p *PBQPNet) Save(w io.Writer) error { return nn.SaveTensors(w, p.tensors()
 // Load restores weights saved by Save into an identically configured
 // network.
 func (p *PBQPNet) Load(r io.Reader) error { return nn.LoadTensors(r, p.tensors()) }
+
+// SaveBytes serializes the network into a byte slice (the Save format),
+// for embedding in checkpoints or comparing two networks exactly.
+func (p *PBQPNet) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadBytes restores weights serialized by SaveBytes (or Save).
+func (p *PBQPNet) LoadBytes(data []byte) error { return p.Load(bytes.NewReader(data)) }
 
 // Clone returns an independent copy of the network (same architecture,
 // copied weights and statistics).

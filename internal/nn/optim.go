@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"pbqprl/internal/tensor"
@@ -86,4 +87,57 @@ func (a *Adam) Step(params []*Param) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// AdamState is the serializable snapshot of an Adam optimizer: the
+// hyperparameters, the step count, and the first/second moment vectors
+// in the order of the params slice passed to State. It is what a
+// training checkpoint needs for a resumed run to take bit-identical
+// optimizer steps.
+type AdamState struct {
+	LR, Beta1, Beta2, Eps float64
+	T                     int
+	M, V                  [][]float64
+}
+
+// State captures the optimizer's state for params. Parameters the
+// optimizer has not stepped yet get zero moments, which is exactly the
+// state a fresh Step would create for them.
+func (a *Adam) State(params []*Param) AdamState {
+	st := AdamState{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, T: a.t}
+	for _, p := range params {
+		st.M = append(st.M, momentCopy(a.m[p], len(p.W)))
+		st.V = append(st.V, momentCopy(a.v[p], len(p.W)))
+	}
+	return st
+}
+
+// LoadState restores a snapshot taken by State, matching moments to
+// params by position. The params slice must list the same parameters in
+// the same order (same shapes) as the State call that produced st.
+func (a *Adam) LoadState(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state has %d/%d moment vectors, want %d", len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.W) || len(st.V[i]) != len(p.W) {
+			return fmt.Errorf("nn: adam state moment %d has length %d/%d, want %d", i, len(st.M[i]), len(st.V[i]), len(p.W))
+		}
+	}
+	a.LR, a.Beta1, a.Beta2, a.Eps, a.t = st.LR, st.Beta1, st.Beta2, st.Eps, st.T
+	a.m = make(map[*Param]tensor.Vec, len(params))
+	a.v = make(map[*Param]tensor.Vec, len(params))
+	for i, p := range params {
+		a.m[p] = tensor.Vec(momentCopy(st.M[i], len(p.W)))
+		a.v[p] = tensor.Vec(momentCopy(st.V[i], len(p.W)))
+	}
+	return nil
+}
+
+// momentCopy returns a copy of v, or a zero vector of length n when v
+// is nil.
+func momentCopy(v []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, v)
+	return out
 }

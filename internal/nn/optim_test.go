@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/tensor"
+)
+
+// fakeGradSteps runs n Adam steps over params with a deterministic
+// pseudo-gradient stream.
+func fakeGradSteps(opt *Adam, params []*Param, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < n; s++ {
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] = rng.NormFloat64()
+			}
+		}
+		opt.Step(params)
+	}
+}
+
+func makeParams(sizes ...int) []*Param {
+	var ps []*Param
+	for i, n := range sizes {
+		p := &Param{Name: "p", W: tensor.NewVec(n), G: tensor.NewVec(n)}
+		for j := range p.W {
+			p.W[j] = float64(i+1) / float64(j+1)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestAdamStateRoundTripIsBitIdentical(t *testing.T) {
+	// Run A: 5 + 5 steps uninterrupted.
+	pa := makeParams(7, 3, 12)
+	oa := NewAdam(1e-2)
+	fakeGradSteps(oa, pa, 42, 5)
+
+	// Run B: 5 steps, snapshot, restore into a fresh optimizer (and
+	// fresh params copied from A's midpoint), 5 more steps.
+	pb := makeParams(7, 3, 12)
+	for i := range pb {
+		copy(pb[i].W, pa[i].W)
+	}
+	ob := NewAdam(1e-2)
+	if err := ob.LoadState(pb, oa.State(pa)); err != nil {
+		t.Fatal(err)
+	}
+	fakeGradSteps(oa, pa, 43, 5)
+	fakeGradSteps(ob, pb, 43, 5)
+
+	for i := range pa {
+		for j := range pa[i].W {
+			if pa[i].W[j] != pb[i].W[j] {
+				t.Fatalf("param %d entry %d diverged: %v vs %v", i, j, pa[i].W[j], pb[i].W[j])
+			}
+		}
+	}
+}
+
+func TestAdamStateBeforeFirstStep(t *testing.T) {
+	params := makeParams(4)
+	opt := NewAdam(1e-3)
+	st := opt.State(params)
+	if st.T != 0 || len(st.M) != 1 || len(st.M[0]) != 4 {
+		t.Errorf("fresh state = %+v", st)
+	}
+	other := NewAdam(1e-3)
+	if err := other.LoadState(params, st); err != nil {
+		t.Fatal(err)
+	}
+	fakeGradSteps(opt, params, 1, 1) // must not panic with restored zero moments
+}
+
+func TestAdamLoadStateValidates(t *testing.T) {
+	params := makeParams(4, 2)
+	opt := NewAdam(1e-3)
+	st := opt.State(params)
+
+	if err := NewAdam(1e-3).LoadState(params[:1], st); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	bad := st
+	bad.M = [][]float64{{1}, {1, 2}}
+	if err := NewAdam(1e-3).LoadState(params, bad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package selfplay
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbqprl/internal/checkpoint"
+	"pbqprl/internal/net"
+	"pbqprl/internal/pbqp"
+)
+
+// netBytes serializes a network for exact comparison.
+func netBytes(t *testing.T, n *net.PBQPNet) []byte {
+	t.Helper()
+	b, err := n.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runIters(t *testing.T, tr *Trainer, n int) []IterStats {
+	t.Helper()
+	var out []IterStats
+	for i := 0; i < n; i++ {
+		stats, err := tr.RunIteration(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, stats)
+	}
+	return out
+}
+
+// TestResumeIsBitIdentical is the core fault-tolerance guarantee: train
+// k iterations, checkpoint, restore into a fresh trainer, train N-k
+// more, and the per-iteration stats and final network tensors must
+// equal an uninterrupted N-iteration run with the same seed.
+func TestResumeIsBitIdentical(t *testing.T) {
+	const total, cut = 4, 2
+	ref := tinyTrainer(t, 21)
+	refStats := runIters(t, ref, total)
+
+	a := tinyTrainer(t, 21)
+	aStats := runIters(t, a, cut)
+	blob, err := a.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := tinyTrainer(t, 21)
+	if err := b.DecodeState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if b.Iter() != cut {
+		t.Fatalf("restored Iter() = %d, want %d", b.Iter(), cut)
+	}
+	bStats := append(aStats, runIters(t, b, total-cut)...)
+
+	for i := range refStats {
+		if refStats[i] != bStats[i] {
+			t.Errorf("iteration %d stats diverged:\n  uninterrupted %+v\n  resumed       %+v", i+1, refStats[i], bStats[i])
+		}
+	}
+	if !bytes.Equal(netBytes(t, ref.Best()), netBytes(t, b.Best())) {
+		t.Error("best-network tensors diverged after resume")
+	}
+	if !bytes.Equal(netBytes(t, ref.Current()), netBytes(t, b.Current())) {
+		t.Error("current-network tensors diverged after resume")
+	}
+	if ref.ReplaySize() != b.ReplaySize() {
+		t.Errorf("replay size diverged: %d vs %d", ref.ReplaySize(), b.ReplaySize())
+	}
+}
+
+// TestMidIterationInterruptResumes simulates SIGINT mid-iteration: the
+// context is cancelled from inside the episode loop, the trainer
+// finishes the in-flight episode, checkpoints, and a restored trainer
+// finishes the iteration with results identical to an uninterrupted run.
+func TestMidIterationInterruptResumes(t *testing.T) {
+	const total = 3
+	ref := tinyTrainer(t, 22)
+	refStats := runIters(t, ref, total)
+
+	a := tinyTrainer(t, 22)
+	runIters(t, a, 1)
+	// cancel during the second episode of iteration 2
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	inner := a.cfg.Generate
+	a.cfg.Generate = func(rng *rand.Rand) *pbqp.Graph {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return inner(rng)
+	}
+	partial, err := a.RunIteration(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !a.Interrupted() {
+		t.Fatal("trainer does not report the interrupted iteration")
+	}
+	if got := partial.Wins + partial.Losses + partial.Ties; got != 2 {
+		t.Fatalf("finished %d episodes before stopping, want 2 (in-flight episode must finish)", got)
+	}
+	if a.Iter() != 1 {
+		t.Fatalf("Iter() = %d during interrupted iteration 2, want 1", a.Iter())
+	}
+	blob, err := a.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := tinyTrainer(t, 22)
+	if err := b.DecodeState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Interrupted() {
+		t.Fatal("pending iteration lost in the checkpoint round trip")
+	}
+	resumed, err := b.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != refStats[1] {
+		t.Errorf("resumed iteration 2 stats %+v, want %+v", resumed, refStats[1])
+	}
+	finalStats, err := b.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalStats != refStats[2] {
+		t.Errorf("iteration 3 stats %+v, want %+v", finalStats, refStats[2])
+	}
+	if !bytes.Equal(netBytes(t, ref.Best()), netBytes(t, b.Best())) {
+		t.Error("best-network tensors diverged after mid-iteration resume")
+	}
+}
+
+// TestStoreFallbackResumesFromPreviousCheckpoint covers the corruption
+// acceptance criterion end to end: the newest checkpoint is truncated,
+// LoadLatest falls back to the previous valid one, and training resumed
+// from it still matches the uninterrupted run.
+func TestStoreFallbackResumesFromPreviousCheckpoint(t *testing.T) {
+	const total = 3
+	ref := tinyTrainer(t, 23)
+	refStats := runIters(t, ref, total)
+
+	store, err := checkpoint.NewStore(filepath.Join(t.TempDir(), "ckpts"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warned := false
+	store.Logf = func(string, ...any) { warned = true }
+
+	a := tinyTrainer(t, 23)
+	for i := 1; i <= 2; i++ {
+		runIters(t, a, 1)
+		blob, err := a.EncodeState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(i, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// truncate the newest checkpoint, as a crash mid-write would
+	data, err := os.ReadFile(store.Path(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(2), data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	id, blob, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("fell back to checkpoint %d, want 1", id)
+	}
+	if !warned {
+		t.Error("no warning logged for the corrupt checkpoint")
+	}
+	b := tinyTrainer(t, 23)
+	if err := b.DecodeState(blob); err != nil {
+		t.Fatal(err)
+	}
+	bStats := runIters(t, b, total-1)
+	for i, want := range refStats[1:] {
+		if bStats[i] != want {
+			t.Errorf("iteration %d stats diverged after fallback: %+v vs %+v", i+2, bStats[i], want)
+		}
+	}
+	if !bytes.Equal(netBytes(t, ref.Best()), netBytes(t, b.Best())) {
+		t.Error("best-network tensors diverged after fallback resume")
+	}
+}
+
+// TestDecodeStateRejectsGarbage ensures a corrupted payload (one that
+// somehow passed the frame checksum) fails loudly rather than loading
+// garbage.
+func TestDecodeStateRejectsGarbage(t *testing.T) {
+	tr := tinyTrainer(t, 24)
+	if err := tr.DecodeState([]byte("not a gob stream")); err == nil {
+		t.Error("garbage state accepted")
+	}
+}
+
+// TestEncodeStateRoundTripsReplayViews checks that a thawed replay
+// sample drives the network exactly like the original snapshot.
+func TestEncodeStateRoundTripsReplayViews(t *testing.T) {
+	tr := tinyTrainer(t, 25)
+	runIters(t, tr, 1)
+	if tr.ReplaySize() == 0 {
+		t.Fatal("no replay samples to round-trip")
+	}
+	blob, err := tr.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := tinyTrainer(t, 25)
+	if err := other.DecodeState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.replay {
+		a, b := tr.replay[i], other.replay[i]
+		if a.Z != b.Z || a.View.N() != b.View.N() {
+			t.Fatalf("sample %d shape/label mismatch", i)
+		}
+		la, va := tr.cur.Forward(a.View)
+		lb, vb := other.cur.Forward(b.View)
+		if va != vb {
+			t.Fatalf("sample %d value diverged: %v vs %v", i, va, vb)
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("sample %d logit %d diverged", i, j)
+			}
+		}
+	}
+}

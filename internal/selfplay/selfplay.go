@@ -8,8 +8,12 @@
 package selfplay
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime/debug"
 
 	"pbqprl/internal/cost"
 	"pbqprl/internal/game"
@@ -77,6 +81,9 @@ type Config struct {
 	Generate func(rng *rand.Rand) *pbqp.Graph
 	// Seed makes training reproducible.
 	Seed int64
+	// Logf receives warnings — a skipped (panicked) episode with its
+	// reproduction seed, for example. Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +130,7 @@ type IterStats struct {
 	Wins        int // training-run wins against the best player
 	Losses      int
 	Ties        int
+	Skipped     int // episodes abandoned after a panic
 	Samples     int // tuples collected this iteration
 	ReplaySize  int
 	AvgLoss     float64
@@ -133,8 +141,12 @@ type IterStats struct {
 
 // String renders the stats on one line.
 func (s IterStats) String() string {
-	return fmt.Sprintf("iter %d: episodes=%d W/L/T=%d/%d/%d samples=%d replay=%d loss=%.4f arena=%d-%d promoted=%v",
+	line := fmt.Sprintf("iter %d: episodes=%d W/L/T=%d/%d/%d samples=%d replay=%d loss=%.4f arena=%d-%d promoted=%v",
 		s.Iteration, s.Episodes, s.Wins, s.Losses, s.Ties, s.Samples, s.ReplaySize, s.AvgLoss, s.ArenaWins, s.ArenaLosses, s.Promoted)
+	if s.Skipped > 0 {
+		line += fmt.Sprintf(" skipped=%d", s.Skipped)
+	}
+	return line
 }
 
 // Trainer runs the self-play loop.
@@ -144,24 +156,55 @@ type Trainer struct {
 	best   *net.PBQPNet // θ*, the best player so far
 	replay []Sample
 	opt    *nn.Adam
+	src    *pcgSource // serializable master RNG stream
 	rng    *rand.Rand
-	iter   int
+	iter   int // iterations started (including an interrupted one)
+
+	// pending holds the partial stats of an iteration interrupted by
+	// context cancellation; RunIteration resumes it at pendingEpisode.
+	// Both survive checkpointing, so a resumed run picks up exactly
+	// where the interrupted one stopped.
+	pending        *IterStats
+	pendingEpisode int
 }
 
-// New creates a trainer around an initial network. The network is
-// cloned for the best player.
-func New(n *net.PBQPNet, cfg Config) *Trainer {
-	cfg = cfg.withDefaults()
-	if cfg.Generate == nil {
-		panic("selfplay: Config.Generate is required")
+// NewTrainer creates a trainer around an initial network, which is
+// cloned for the best player. It returns an error for an invalid
+// configuration (Generate missing, negative sizes).
+func NewTrainer(n *net.PBQPNet, cfg Config) (*Trainer, error) {
+	if n == nil {
+		return nil, errors.New("selfplay: network is required")
 	}
+	if cfg.Generate == nil {
+		return nil, errors.New("selfplay: Config.Generate is required")
+	}
+	if cfg.EpisodesPerIter < 0 || cfg.KTrain < 0 || cfg.ReplayCap < 0 ||
+		cfg.BatchSize < 0 || cfg.TrainSteps < 0 || cfg.ArenaGames < 0 {
+		return nil, fmt.Errorf("selfplay: negative size in config %+v", cfg)
+	}
+	if cfg.LR < 0 || cfg.L2 < 0 {
+		return nil, fmt.Errorf("selfplay: negative learning rate or L2 weight")
+	}
+	cfg = cfg.withDefaults()
+	src := newPCGSource(cfg.Seed)
 	return &Trainer{
 		cfg:  cfg,
 		cur:  n,
 		best: n.Clone(),
 		opt:  nn.NewAdam(cfg.LR),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		src:  src,
+		rng:  rand.New(src),
+	}, nil
+}
+
+// New creates a trainer like NewTrainer but panics on an invalid
+// configuration; it is a convenience for tests and examples.
+func New(n *net.PBQPNet, cfg Config) *Trainer {
+	t, err := NewTrainer(n, cfg)
+	if err != nil {
+		panic(err.Error())
 	}
+	return t
 }
 
 // Current returns the network being trained.
@@ -173,17 +216,63 @@ func (t *Trainer) Best() *net.PBQPNet { return t.best }
 // ReplaySize returns the number of tuples in the replay queue.
 func (t *Trainer) ReplaySize() int { return len(t.replay) }
 
+// Iter returns the number of completed iterations; an interrupted
+// iteration does not count until it finishes.
+func (t *Trainer) Iter() int {
+	if t.pending != nil {
+		return t.iter - 1
+	}
+	return t.iter
+}
+
+// Interrupted reports whether the trainer holds a partially finished
+// iteration that the next RunIteration call will resume.
+func (t *Trainer) Interrupted() bool { return t.pending != nil }
+
+func (t *Trainer) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
 // RunIteration executes one iteration: EpisodesPerIter self-play
 // episodes, TrainSteps minibatch updates, and the arena gate.
-func (t *Trainer) RunIteration() IterStats {
-	t.iter++
-	stats := IterStats{Iteration: t.iter, Episodes: t.cfg.EpisodesPerIter}
-	for e := 0; e < t.cfg.EpisodesPerIter; e++ {
-		g := t.cfg.Generate(t.rng)
-		order := game.MakeOrder(g, t.cfg.Order, t.rng)
-		baseCost, _ := t.playEpisode(t.best, g, order, false)
-		curCost, samples := t.playEpisode(t.cur, g, order, true)
-		z := game.CompareCosts(curCost, baseCost)
+//
+// Cancelling ctx stops the iteration at the next episode boundary — the
+// in-flight episode always finishes — and returns the partial stats
+// with ctx's error; the trainer remembers its position, so the next
+// RunIteration call (possibly after a checkpoint round trip) resumes
+// the same iteration at the same episode with identical results. An
+// episode that panics is logged with its reproduction seed and skipped
+// rather than aborting the run. A non-context error (training
+// divergence: NaN/Inf loss or weights) poisons the trainer; callers
+// must not checkpoint after one.
+func (t *Trainer) RunIteration(ctx context.Context) (IterStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var stats IterStats
+	start := 0
+	if t.pending != nil {
+		stats, start = *t.pending, t.pendingEpisode
+		t.pending = nil
+	} else {
+		t.iter++
+		stats = IterStats{Iteration: t.iter, Episodes: t.cfg.EpisodesPerIter}
+	}
+	for e := start; e < t.cfg.EpisodesPerIter; e++ {
+		if err := ctx.Err(); err != nil {
+			snap := stats
+			t.pending, t.pendingEpisode = &snap, e
+			return stats, err
+		}
+		epSeed := t.rng.Int63()
+		z, samples, err := t.runEpisode(epSeed)
+		if err != nil {
+			stats.Skipped++
+			t.logf("selfplay: iteration %d episode %d skipped: %v", stats.Iteration, e, err)
+			continue
+		}
 		switch {
 		case z > 0:
 			stats.Wins++
@@ -199,7 +288,11 @@ func (t *Trainer) RunIteration() IterStats {
 		stats.Samples += len(samples)
 	}
 	stats.ReplaySize = len(t.replay)
-	stats.AvgLoss = t.train()
+	avg, err := t.train()
+	stats.AvgLoss = avg
+	if err != nil {
+		return stats, err
+	}
 	wins, losses := t.arena()
 	stats.ArenaWins = wins
 	stats.ArenaLosses = losses
@@ -210,14 +303,35 @@ func (t *Trainer) RunIteration() IterStats {
 		// discard the candidate, as the paper does
 		t.cur.CopyFrom(t.best)
 	}
-	return stats
+	return stats, nil
+}
+
+// runEpisode plays one self-play episode pair (best, then current, on
+// the same graph) seeded by epSeed, which fully determines the episode:
+// a panic anywhere inside — graph generation, MCTS, the network — is
+// recovered into an error carrying epSeed so the failure is
+// reproducible offline, and the master RNG stream is unaffected beyond
+// the single draw that produced epSeed.
+func (t *Trainer) runEpisode(epSeed int64) (z float64, samples []Sample, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			z, samples = 0, nil
+			err = fmt.Errorf("episode panic (graph seed %d): %v\n%s", epSeed, r, debug.Stack())
+		}
+	}()
+	rng := rand.New(rand.NewSource(epSeed))
+	g := t.cfg.Generate(rng)
+	order := game.MakeOrder(g, t.cfg.Order, rng)
+	baseCost, _ := t.playEpisode(rng, t.best, g, order, false)
+	curCost, samples := t.playEpisode(rng, t.cur, g, order, true)
+	return game.CompareCosts(curCost, baseCost), samples, nil
 }
 
 // playEpisode colors g with n, using sampling from the MCTS policy for
 // training runs (collect) and greedy argmax otherwise. It returns the
 // achieved cost (infinite on a dead end) and, for training runs, the
 // collected tuples (with Z still unset).
-func (t *Trainer) playEpisode(n *net.PBQPNet, g *pbqp.Graph, order []int, collect bool) (cost.Cost, []Sample) {
+func (t *Trainer) playEpisode(rng *rand.Rand, n *net.PBQPNet, g *pbqp.Graph, order []int, collect bool) (cost.Cost, []Sample) {
 	st := game.New(g, order)
 	tree := mcts.New(n, g.M(), t.cfg.MCTS)
 	var samples []Sample
@@ -227,14 +341,14 @@ func (t *Trainer) playEpisode(n *net.PBQPNet, g *pbqp.Graph, order []int, collec
 		}
 		tree.Run(st, t.cfg.KTrain)
 		if collect && t.cfg.RootNoise {
-			tree.AddRootNoise(t.rng, t.cfg.NoiseAlpha, t.cfg.NoiseFrac)
+			tree.AddRootNoise(rng, t.cfg.NoiseAlpha, t.cfg.NoiseFrac)
 			tree.Run(st, t.cfg.KTrain/2+1)
 		}
 		pi := tree.Policy()
 		var a int
 		if collect {
 			samples = append(samples, Sample{View: st.Snapshot(), Pi: pi.Clone()})
-			a = samplePolicy(t.rng, pi)
+			a = samplePolicy(rng, pi)
 		} else {
 			a = rl.Argmax(pi)
 		}
@@ -248,10 +362,16 @@ func (t *Trainer) playEpisode(n *net.PBQPNet, g *pbqp.Graph, order []int, collec
 }
 
 // samplePolicy draws an action from the distribution pi; it returns -1
-// if pi is all zero.
+// (treated as a dead end by the caller) if pi is all zero or contains a
+// non-finite entry. Without the NaN check, a single NaN would make the
+// running total NaN, every x < 0 comparison false, and the function
+// would silently fall through to Argmax on a poisoned distribution.
 func samplePolicy(rng *rand.Rand, pi tensor.Vec) int {
 	total := 0.0
 	for _, p := range pi {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return -1
+		}
 		total += p
 	}
 	if total == 0 {
@@ -277,10 +397,13 @@ func (t *Trainer) enqueue(samples []Sample) {
 }
 
 // train runs TrainSteps Adam minibatch updates over the replay queue
-// and returns the average per-sample loss (including the L2 term).
-func (t *Trainer) train() float64 {
+// and returns the average per-sample loss (including the L2 term). It
+// reports an error when training has diverged — a non-finite loss or
+// non-finite weights — so the caller can abort before a poisoned
+// network reaches a checkpoint or the promotion gate.
+func (t *Trainer) train() (float64, error) {
 	if len(t.replay) == 0 {
-		return 0
+		return 0, t.checkFinite()
 	}
 	t.cur.SetTraining(true)
 	defer t.cur.SetTraining(false)
@@ -301,7 +424,22 @@ func (t *Trainer) train() float64 {
 		t.opt.Step(t.cur.Params())
 	}
 	avg := totalLoss/float64(count) + nn.L2Penalty(t.cur.Params(), t.cfg.L2)
-	return avg
+	if math.IsNaN(avg) || math.IsInf(avg, 0) {
+		return avg, fmt.Errorf("selfplay: training diverged at iteration %d: loss = %v", t.iter, avg)
+	}
+	return avg, t.checkFinite()
+}
+
+// checkFinite scans the current network for NaN/Inf weights.
+func (t *Trainer) checkFinite() error {
+	for _, p := range t.cur.Params() {
+		for _, w := range p.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("selfplay: training diverged at iteration %d: parameter %q has non-finite weights", t.iter, p.Name)
+			}
+		}
+	}
+	return nil
 }
 
 // arena plays ArenaGames fresh graphs with both networks (greedy
@@ -311,8 +449,8 @@ func (t *Trainer) arena() (wins, losses int) {
 	for i := 0; i < t.cfg.ArenaGames; i++ {
 		g := t.cfg.Generate(t.rng)
 		order := game.MakeOrder(g, t.cfg.Order, t.rng)
-		curCost, _ := t.playEpisode(t.cur, g, order, false)
-		bestCost, _ := t.playEpisode(t.best, g, order, false)
+		curCost, _ := t.playEpisode(t.rng, t.cur, g, order, false)
+		bestCost, _ := t.playEpisode(t.rng, t.best, g, order, false)
 		switch game.CompareCosts(curCost, bestCost) {
 		case 1:
 			wins++

@@ -1,7 +1,11 @@
 package selfplay
 
 import (
+	"context"
+	"fmt"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"pbqprl/internal/game"
@@ -36,7 +40,10 @@ func tinyTrainer(t *testing.T, seed int64) *Trainer {
 
 func TestRunIterationCollectsAndTrains(t *testing.T) {
 	tr := tinyTrainer(t, 1)
-	stats := tr.RunIteration()
+	stats, err := tr.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Iteration != 1 || stats.Episodes != 4 {
 		t.Errorf("stats header wrong: %+v", stats)
 	}
@@ -56,7 +63,7 @@ func TestRunIterationCollectsAndTrains(t *testing.T) {
 
 func TestSamplesHaveConsistentLabels(t *testing.T) {
 	tr := tinyTrainer(t, 2)
-	tr.RunIteration()
+	tr.RunIteration(context.Background())
 	for i, s := range tr.replay {
 		if s.Z != 1 && s.Z != -1 && s.Z != 0 {
 			t.Fatalf("sample %d has reward %v", i, s.Z)
@@ -80,7 +87,7 @@ func TestSamplesHaveConsistentLabels(t *testing.T) {
 func TestReplayCapEvictsOldest(t *testing.T) {
 	tr := tinyTrainer(t, 3)
 	tr.cfg.ReplayCap = 10
-	tr.RunIteration()
+	tr.RunIteration(context.Background())
 	if got := tr.ReplaySize(); got > 10 {
 		t.Errorf("replay size = %d, cap 10", got)
 	}
@@ -88,7 +95,10 @@ func TestReplayCapEvictsOldest(t *testing.T) {
 
 func TestPromotionGate(t *testing.T) {
 	tr := tinyTrainer(t, 4)
-	stats := tr.RunIteration()
+	stats, err := tr.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// whatever the outcome, cur and best must agree afterwards:
 	// promoted -> best := cur; rejected -> cur := best.
 	view := sampleView(t)
@@ -136,8 +146,12 @@ func TestSamplePolicy(t *testing.T) {
 
 func TestDeterministicTraining(t *testing.T) {
 	a, b := tinyTrainer(t, 7), tinyTrainer(t, 7)
-	sa, sb := a.RunIteration(), b.RunIteration()
-	if sa.Wins != sb.Wins || sa.Samples != sb.Samples || sa.AvgLoss != sb.AvgLoss {
+	sa, errA := a.RunIteration(context.Background())
+	sb, errB := b.RunIteration(context.Background())
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if sa != sb {
 		t.Errorf("same seed diverged: %+v vs %+v", sa, sb)
 	}
 }
@@ -149,4 +163,88 @@ func TestMissingGeneratePanics(t *testing.T) {
 		}
 	}()
 	New(net.New(net.Config{M: 2, Seed: 1}), Config{})
+}
+
+func TestSamplePolicyRejectsNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if a := samplePolicy(rng, tensor.Vec{0.2, math.NaN(), 0.5}); a != -1 {
+		t.Errorf("NaN policy sampled action %d, want -1", a)
+	}
+	if a := samplePolicy(rng, tensor.Vec{0.2, math.Inf(1), 0.5}); a != -1 {
+		t.Errorf("Inf policy sampled action %d, want -1", a)
+	}
+}
+
+func TestNewTrainerValidates(t *testing.T) {
+	n := net.New(net.Config{M: 2, Seed: 1})
+	if _, err := NewTrainer(n, Config{}); err == nil {
+		t.Error("missing Generate accepted")
+	}
+	if _, err := NewTrainer(nil, Config{Generate: func(*rand.Rand) *pbqp.Graph { return nil }}); err == nil {
+		t.Error("nil network accepted")
+	}
+	gen := func(rng *rand.Rand) *pbqp.Graph {
+		return randgraph.ErdosRenyi(rng, randgraph.Config{N: 4, M: 2, PEdge: 0.4})
+	}
+	if _, err := NewTrainer(n, Config{Generate: gen, EpisodesPerIter: -1}); err == nil {
+		t.Error("negative episode count accepted")
+	}
+	if _, err := NewTrainer(n, Config{Generate: gen, LR: -0.1}); err == nil {
+		t.Error("negative learning rate accepted")
+	}
+	if _, err := NewTrainer(n, Config{Generate: gen}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPanickingEpisodeIsIsolated(t *testing.T) {
+	tr := tinyTrainer(t, 11)
+	var warnings []string
+	tr.cfg.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	inner := tr.cfg.Generate
+	calls := 0
+	tr.cfg.Generate = func(rng *rand.Rand) *pbqp.Graph {
+		calls++
+		if calls == 2 {
+			panic("synthetic generator failure")
+		}
+		return inner(rng)
+	}
+	stats, err := tr.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 {
+		t.Errorf("Skipped = %d, want 1", stats.Skipped)
+	}
+	if got := stats.Wins + stats.Losses + stats.Ties; got != stats.Episodes-1 {
+		t.Errorf("W+L+T = %d, want %d", got, stats.Episodes-1)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "graph seed") {
+		t.Errorf("expected one skip warning naming the graph seed, got %v", warnings)
+	}
+	if !strings.Contains(stats.String(), "skipped=1") {
+		t.Errorf("stats string %q does not report the skip", stats)
+	}
+	// the run must remain usable afterwards
+	if _, err := tr.RunIteration(context.Background()); err != nil {
+		t.Fatalf("iteration after a skipped episode failed: %v", err)
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	tr := tinyTrainer(t, 12)
+	if _, err := tr.RunIteration(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr.cur.Params()[0].W[0] = math.NaN()
+	_, err := tr.RunIteration(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("poisoned network not detected: err = %v", err)
+	}
+	if _, err := tr.EncodeState(); err == nil {
+		t.Error("EncodeState checkpointed a poisoned network")
+	}
 }

@@ -1,0 +1,191 @@
+// Trainer-state serialization for fault-tolerant training: EncodeState
+// captures everything a resumed run needs to be bit-identical to an
+// uninterrupted one — both networks, the Adam moments, the replay
+// queue, the master RNG stream, the iteration counter, and the position
+// inside an interrupted iteration. The bytes are opaque; pair them with
+// internal/checkpoint for atomic, checksummed on-disk storage.
+package selfplay
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/nn"
+	"pbqprl/internal/tensor"
+)
+
+// pcgSource adapts math/rand/v2's PCG generator — whose state is
+// serializable — to math/rand's Source64 interface, so the trainer's
+// RNG stream survives a checkpoint/restore round trip exactly. The
+// stock math/rand source keeps its state private and cannot be resumed.
+type pcgSource struct{ pcg *randv2.PCG }
+
+// pcgStream is the fixed second seed word; the user seed is the first.
+const pcgStream = 0x9e3779b97f4a7c15
+
+func newPCGSource(seed int64) *pcgSource {
+	return &pcgSource{pcg: randv2.NewPCG(uint64(seed), pcgStream)}
+}
+
+func (s *pcgSource) Uint64() uint64 { return s.pcg.Uint64() }
+func (s *pcgSource) Int63() int64   { return int64(s.pcg.Uint64() >> 1) }
+func (s *pcgSource) Seed(seed int64) {
+	s.pcg.Seed(uint64(seed), pcgStream)
+}
+func (s *pcgSource) state() ([]byte, error)  { return s.pcg.MarshalBinary() }
+func (s *pcgSource) setState(b []byte) error { return s.pcg.UnmarshalBinary(b) }
+
+// trainerState is the gob payload of a trainer checkpoint.
+type trainerState struct {
+	Iter           int
+	Pending        *IterStats
+	PendingEpisode int
+	Cur, Best      []byte // net.PBQPNet.SaveBytes
+	Adam           nn.AdamState
+	RNG            []byte // PCG state
+	Replay         []replaySample
+}
+
+// replaySample is the self-contained serialized form of a Sample: the
+// view's vertex vectors, adjacency, and transformed edge matrices, laid
+// out with exported fields for gob. Edge matrices shared between
+// samples of one episode are duplicated here; correctness over
+// compactness.
+type replaySample struct {
+	M    int
+	Vecs []cost.Vector
+	Nbrs [][]int
+	Mats [][]edgeMat
+	Pi   tensor.Vec
+	Z    float64
+}
+
+type edgeMat struct {
+	J   int
+	Mat *tensor.Mat
+}
+
+// frozenView is the gcn.View a restored replay sample presents to the
+// network; Forward over it is bit-identical to the original snapshot.
+type frozenView struct {
+	m    int
+	vecs []cost.Vector
+	nbrs [][]int
+	mats []map[int]*tensor.Mat
+}
+
+func (v *frozenView) N() int                   { return len(v.vecs) }
+func (v *frozenView) M() int                   { return v.m }
+func (v *frozenView) Vec(i int) cost.Vector    { return v.vecs[i] }
+func (v *frozenView) Nbrs(i int) []int         { return v.nbrs[i] }
+func (v *frozenView) Mat(i, j int) *tensor.Mat { return v.mats[i][j] }
+
+// freezeSample converts a Sample to its serialized form through the
+// gcn.View interface, so it works for live snapshots and already-thawed
+// samples alike. Edge matrices are emitted in sorted neighbor order for
+// deterministic encodings.
+func freezeSample(s Sample) replaySample {
+	v := s.View
+	out := replaySample{M: v.M(), Pi: s.Pi, Z: s.Z}
+	for i := 0; i < v.N(); i++ {
+		out.Vecs = append(out.Vecs, v.Vec(i))
+		nbrs := append([]int(nil), v.Nbrs(i)...)
+		sort.Ints(nbrs)
+		var mats []edgeMat
+		for _, j := range nbrs {
+			mats = append(mats, edgeMat{J: j, Mat: v.Mat(i, j)})
+		}
+		out.Nbrs = append(out.Nbrs, nbrs)
+		out.Mats = append(out.Mats, mats)
+	}
+	return out
+}
+
+// thawSample reverses freezeSample.
+func thawSample(rs replaySample) Sample {
+	v := &frozenView{m: rs.M, vecs: rs.Vecs, nbrs: rs.Nbrs}
+	for _, mats := range rs.Mats {
+		m := make(map[int]*tensor.Mat, len(mats))
+		for _, em := range mats {
+			m[em.J] = em.Mat
+		}
+		v.mats = append(v.mats, m)
+	}
+	return Sample{View: gcn.View(v), Pi: rs.Pi, Z: rs.Z}
+}
+
+// EncodeState serializes the full trainer state. It refuses to encode a
+// diverged (NaN/Inf) network so that a poisoned state can never reach a
+// checkpoint.
+func (t *Trainer) EncodeState() ([]byte, error) {
+	if err := t.checkFinite(); err != nil {
+		return nil, fmt.Errorf("selfplay: refusing to checkpoint: %w", err)
+	}
+	cur, err := t.cur.SaveBytes()
+	if err != nil {
+		return nil, err
+	}
+	best, err := t.best.SaveBytes()
+	if err != nil {
+		return nil, err
+	}
+	rng, err := t.src.state()
+	if err != nil {
+		return nil, err
+	}
+	st := trainerState{
+		Iter:           t.iter,
+		Pending:        t.pending,
+		PendingEpisode: t.pendingEpisode,
+		Cur:            cur,
+		Best:           best,
+		Adam:           t.opt.State(t.cur.Params()),
+		RNG:            rng,
+	}
+	for _, s := range t.replay {
+		st.Replay = append(st.Replay, freezeSample(s))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("selfplay: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState restores a state produced by EncodeState into a trainer
+// built with the same Config and network architecture, replacing its
+// networks, optimizer moments, replay queue, RNG stream, and iteration
+// position. On error the trainer may be partially modified and should
+// be discarded.
+func (t *Trainer) DecodeState(data []byte) error {
+	var st trainerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("selfplay: decode state: %w", err)
+	}
+	if err := t.cur.LoadBytes(st.Cur); err != nil {
+		return fmt.Errorf("selfplay: restore current network: %w", err)
+	}
+	if err := t.best.LoadBytes(st.Best); err != nil {
+		return fmt.Errorf("selfplay: restore best network: %w", err)
+	}
+	if err := t.opt.LoadState(t.cur.Params(), st.Adam); err != nil {
+		return fmt.Errorf("selfplay: restore optimizer: %w", err)
+	}
+	if err := t.src.setState(st.RNG); err != nil {
+		return fmt.Errorf("selfplay: restore rng: %w", err)
+	}
+	t.rng = rand.New(t.src)
+	t.iter = st.Iter
+	t.pending, t.pendingEpisode = st.Pending, st.PendingEpisode
+	t.replay = t.replay[:0]
+	for _, rs := range st.Replay {
+		t.replay = append(t.replay, thawSample(rs))
+	}
+	return nil
+}

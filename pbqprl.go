@@ -139,8 +139,13 @@ type (
 	IterStats = selfplay.IterStats
 )
 
-// NewTrainer wraps selfplay.New.
-func NewTrainer(n *Net, cfg TrainerConfig) *Trainer { return selfplay.New(n, cfg) }
+// NewTrainer wraps selfplay.NewTrainer; it returns an error for an
+// invalid configuration (e.g. a missing Generate function).
+func NewTrainer(n *Net, cfg TrainerConfig) (*Trainer, error) { return selfplay.NewTrainer(n, cfg) }
+
+// MustTrainer wraps selfplay.New, which panics on an invalid
+// configuration; it is a convenience for tests and examples.
+func MustTrainer(n *Net, cfg TrainerConfig) *Trainer { return selfplay.New(n, cfg) }
 
 // Random problem generators (the paper's training distributions).
 type (

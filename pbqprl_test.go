@@ -1,6 +1,7 @@
 package pbqprl_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -75,16 +76,25 @@ func TestFacadeGenerators(t *testing.T) {
 
 func TestFacadeTrainer(t *testing.T) {
 	n := pbqprl.NewNet(pbqprl.NetConfig{M: 3, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: 2})
-	tr := pbqprl.NewTrainer(n, pbqprl.TrainerConfig{
+	tr, err := pbqprl.NewTrainer(n, pbqprl.TrainerConfig{
 		EpisodesPerIter: 2, KTrain: 4, ArenaGames: 2, ArenaWins: 1,
 		Generate: func(rng *rand.Rand) *pbqprl.Graph {
 			return pbqprl.ErdosRenyi(rng, pbqprl.ErdosRenyiConfig{N: 5, M: 3, PEdge: 0.4, PInf: 0})
 		},
 		Seed: 3,
 	})
-	stats := tr.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.RunIteration(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Iteration != 1 || stats.Samples == 0 {
 		t.Errorf("trainer stats: %+v", stats)
+	}
+	if _, err := pbqprl.NewTrainer(n, pbqprl.TrainerConfig{}); err == nil {
+		t.Error("missing Generate accepted")
 	}
 	if pbqprl.Inf.IsInf() != true {
 		t.Error("Inf constant broken")
