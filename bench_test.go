@@ -7,8 +7,14 @@ package pbqprl_test
 // pays a few minutes of training.
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"pbqprl"
 	"pbqprl/internal/ate"
@@ -18,6 +24,7 @@ import (
 	"pbqprl/internal/mcts"
 	"pbqprl/internal/perfmodel"
 	"pbqprl/internal/regalloc"
+	"pbqprl/internal/selfplay"
 	"pbqprl/internal/solve/scholz"
 )
 
@@ -203,5 +210,99 @@ func BenchmarkPerfModel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = perfmodel.EstimateFunc(bench.Prog.Funcs[0], asn, params)
+	}
+}
+
+// --- Self-play scaling benchmark ---
+
+// BenchmarkSelfplayEpisodes measures episode-generation throughput of
+// the training pipeline at several worker counts. The worker count
+// never changes the trained network (see internal/selfplay), so the
+// sub-benchmarks do identical work and the ratio of their episodes/sec
+// metrics is the parallel speedup. After the sub-benchmarks finish the
+// results are written to BENCH_selfplay.json in the repository root.
+func BenchmarkSelfplayEpisodes(b *testing.B) {
+	episodes, ktrain := 16, 16
+	if testing.Short() {
+		episodes, ktrain = 8, 8
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	type result struct {
+		Workers        int     `json:"workers"`
+		Episodes       int     `json:"episodes_per_iteration"`
+		KTrain         int     `json:"k_train"`
+		EpisodesPerSec float64 `json:"episodes_per_sec"`
+		SecPerIter     float64 `json:"sec_per_iteration"`
+	}
+	// the framework invokes each sub-benchmark more than once (a b.N=1
+	// calibration round first), so keep only the final run per count
+	byWorkers := map[int]result{}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// a fresh trainer per iteration so every measurement
+				// plays the same episodes from the same initial
+				// network, whatever b.N is
+				n := pbqprl.NewNet(pbqprl.NetConfig{M: 4, GCNLayers: 1, Hidden: 16, Blocks: 1, Seed: 1})
+				trainer := selfplay.New(n, selfplay.Config{
+					EpisodesPerIter: episodes,
+					KTrain:          ktrain,
+					ReplayCap:       4096,
+					// minimal gradient/arena work: the episode loop is
+					// what this benchmark scales
+					BatchSize:  1,
+					TrainSteps: 1,
+					ArenaGames: 1,
+					ArenaWins:  1,
+					Workers:    w,
+					Order:      game.OrderFixed,
+					Seed:       1,
+					Generate: func(rng *rand.Rand) *pbqprl.Graph {
+						return pbqprl.ErdosRenyi(rng, pbqprl.ErdosRenyiConfig{
+							N: 10 + rng.Intn(6), M: 4, PEdge: 0.4, PInf: 0.05,
+						})
+					},
+				})
+				b.StartTimer()
+				start := time.Now()
+				if _, err := trainer.RunIteration(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				elapsed += time.Since(start)
+			}
+			perSec := float64(episodes*b.N) / elapsed.Seconds()
+			b.ReportMetric(perSec, "episodes/sec")
+			byWorkers[w] = result{
+				Workers:        w,
+				Episodes:       episodes,
+				KTrain:         ktrain,
+				EpisodesPerSec: perSec,
+				SecPerIter:     elapsed.Seconds() / float64(b.N),
+			}
+		})
+	}
+	var results []result
+	for _, w := range counts {
+		if r, ok := byWorkers[w]; ok {
+			results = append(results, r)
+		}
+	}
+	report := struct {
+		Benchmark  string   `json:"benchmark"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		Results    []result `json:"results"`
+	}{"BenchmarkSelfplayEpisodes", runtime.GOMAXPROCS(0), results}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_selfplay.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	pbqp-train [-iters N] [-episodes N] [-ktrain N] [-regime ate|er] [-out net.gob] [-seed S]
-//	           [-resume] [-checkpoint-dir DIR] [-checkpoint-every N] [-checkpoint-keep K]
+//	pbqp-train [-iters N] [-episodes N] [-ktrain N] [-workers N] [-regime ate|er] [-out net.gob]
+//	           [-seed S] [-resume] [-checkpoint-dir DIR] [-checkpoint-every N] [-checkpoint-keep K]
 //
 // The "ate" regime trains on zero/infinity graphs with the ATE
 // statistics; "er" trains on the paper's Erdős–Rényi distribution with
@@ -20,6 +20,14 @@
 // uninterrupted run. A truncated or corrupt newest checkpoint is
 // detected by checksum and the run falls back to the previous valid
 // one.
+//
+// Episodes and arena games run on -workers goroutines (default: all
+// CPUs), each with its own clone of the networks. Every episode's
+// randomness comes from a seed pre-drawn from the master RNG stream and
+// results are merged in episode order, so the worker count never
+// changes the result: any -workers value — including resuming a
+// checkpoint under a different one — trains bit-identically to
+// -workers 1.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"pbqprl/internal/checkpoint"
@@ -46,6 +55,7 @@ func main() {
 	iters := flag.Int("iters", 5, "training iterations (paper: 200)")
 	episodes := flag.Int("episodes", 20, "episodes per iteration (paper: 100)")
 	ktrain := flag.Int("ktrain", 50, "MCTS simulations per move (paper: 50 or 100)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent self-play workers (any value trains bit-identically)")
 	regime := flag.String("regime", "ate", "training distribution: ate (zero/inf) or er (Erdős–Rényi, p_inf=1%)")
 	out := flag.String("out", "pbqp-net.gob", "best-network output path")
 	seed := flag.Int64("seed", 1, "training seed")
@@ -87,6 +97,7 @@ func main() {
 	trainer, err := selfplay.NewTrainer(n, selfplay.Config{
 		EpisodesPerIter: *episodes,
 		KTrain:          *ktrain,
+		Workers:         *workers,
 		Order:           order,
 		Generate:        gen,
 		Seed:            *seed,

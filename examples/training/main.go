@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"pbqprl/internal/game"
 	"pbqprl/internal/mcts"
@@ -32,9 +33,12 @@ func main() {
 	trainer := selfplay.New(n, selfplay.Config{
 		EpisodesPerIter: 8,
 		KTrain:          25,
-		Order:           game.OrderDecLiberty,
-		Generate:        gen,
-		Seed:            9,
+		// episodes run on all CPUs; the worker count never changes
+		// the trained network, only the wall-clock time
+		Workers:  runtime.GOMAXPROCS(0),
+		Order:    game.OrderDecLiberty,
+		Generate: gen,
+		Seed:     9,
 	})
 	fmt.Println("training (each iteration: self-play episodes, gradient steps, arena gate):")
 	for i := 0; i < 3; i++ {

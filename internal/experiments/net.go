@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"pbqprl/internal/ate"
@@ -113,6 +114,10 @@ func trainedNetWith(spec TrainSpec, gen func(*rand.Rand) *pbqp.Graph, order game
 		ReplayCap:       20_000,
 		BatchSize:       32,
 		TrainSteps:      2 * spec.Episodes,
+		// parallel episodes; the worker count does not affect the
+		// trained network, so the disk cache stays valid across runs
+		// on machines with different core counts
+		Workers: runtime.GOMAXPROCS(0),
 		// Laptop-scale promotion gate: the paper keeps the candidate
 		// when it wins > 5 of 10 arena games; at our tiny episode
 		// counts (and in the tie-heavy zero/∞ regime) that gate

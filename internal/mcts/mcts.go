@@ -35,6 +35,14 @@ type Config struct {
 	// inference, where games are far deeper than the simulation budget
 	// and a weakly trained V-Net provides no usable signal.
 	HeuristicValue bool
+	// RetainParents keeps the abandoned parent (and its sibling
+	// subtrees) reachable across Advance so that Back can walk the
+	// chain upward — required by the backtracking solver, which
+	// re-roots at the parent after a dead end. Off by default: Advance
+	// then detaches the new root, releasing everything above and beside
+	// it to the garbage collector, so per-episode memory is bounded by
+	// the live subtree instead of growing with game depth.
+	RetainParents bool
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +126,14 @@ func (t *Tree) simulate(s *game.State, nd *node) float64 {
 	}
 	a := t.selectAction(nd)
 	if a < 0 {
-		// every action is disabled or illegal: treat as a dead end
+		// Every child is a known dead end (or masked/illegal), so the
+		// node itself is exhausted. Mark it terminal so actionOpen
+		// prunes it at the parent; without the mark, every later
+		// simulation would re-descend into the spent subtree and burn
+		// its share of the k-budget without ever expanding a node.
+		nd.terminal = true
+		nd.deadEnd = true
+		nd.value = -1
 		return -1
 	}
 	s.Play(a)
@@ -221,7 +236,9 @@ func (t *Tree) RootPrior() tensor.Vec { return t.root.prior }
 func (t *Tree) RootExpanded() bool { return t.root.expanded }
 
 // Advance moves the root to the child reached by action a, reusing the
-// subtree and its statistics (the caller plays a on its state).
+// subtree and its statistics (the caller plays a on its state). Unless
+// Config.RetainParents is set, the abandoned parent and every sibling
+// subtree are detached so the garbage collector can reclaim them.
 func (t *Tree) Advance(a int) {
 	nd := t.root
 	if !nd.expanded || nd.terminal {
@@ -232,14 +249,19 @@ func (t *Tree) Advance(a int) {
 		child = &node{parent: nd}
 		nd.children[a] = child
 	}
+	if !t.cfg.RetainParents {
+		child.parent = nil
+		nd.children = nil
+	}
 	t.root = child
 }
 
 // Back moves the root to its parent (the caller undoes the action on
-// its state). It panics at the tree root.
+// its state). It panics at the tree root, or whenever the parent chain
+// was not retained (see Config.RetainParents).
 func (t *Tree) Back() {
 	if t.root.parent == nil {
-		panic("mcts: Back at tree root")
+		panic("mcts: Back at tree root (backtracking requires Config.RetainParents)")
 	}
 	t.root = t.root.parent
 }

@@ -105,7 +105,7 @@ func TestAdvanceReusesSubtree(t *testing.T) {
 func TestBackReturnsToParent(t *testing.T) {
 	g := fig2Graph()
 	st := game.New(g, []int{0, 1, 2})
-	tree := New(Uniform{}, 2, Config{})
+	tree := New(Uniform{}, 2, Config{RetainParents: true})
 	tree.Run(st, 20)
 	rootPi := tree.Policy()
 	st.Play(1)
@@ -227,6 +227,172 @@ func TestPolicyBeforeRunIsZero(t *testing.T) {
 		if v != 0 {
 			t.Errorf("policy before Run = %v", pi)
 		}
+	}
+}
+
+// trapGraph builds a graph whose first decision offers a poisoned
+// branch: after v0=0 the state is still alive, but every coloring of
+// vertex 1 then strangles vertex 2 — so the subtree under v0=0 is
+// exhausted after two expansions. v0=1 opens a free binary tree over
+// `chain` further vertices (all costs zero, no other edges).
+func trapGraph(chain int) (*pbqp.Graph, []int) {
+	n := 3 + chain
+	g := pbqp.New(n, 2)
+	for i := 0; i < n; i++ {
+		g.SetVertexCost(i, cost.Vector{0, 0})
+	}
+	m02 := cost.NewMatrix(2, 2)
+	m02.Set(0, 0, cost.Inf) // v0=0 kills v2's color 0
+	g.SetEdgeCost(0, 2, m02)
+	m12 := cost.NewMatrix(2, 2)
+	m12.Set(0, 1, cost.Inf) // any coloring of v1 kills v2's color 1
+	m12.Set(1, 1, cost.Inf)
+	g.SetEdgeCost(1, 2, m12)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return g, order
+}
+
+// rootBiasedEval puts nearly all prior mass on action 0 at the root
+// state (recognized by its full vertex count) and is uniform elsewhere,
+// so the search keeps being pulled toward the root's poisoned branch.
+type rootBiasedEval struct{ full int }
+
+func (e rootBiasedEval) Evaluate(view gcn.View) (tensor.Vec, float64) {
+	vec := view.Vec(0)
+	prior := make(tensor.Vec, len(vec))
+	for i, c := range vec {
+		if !c.IsInf() {
+			prior[i] = 1 / float64(len(vec))
+		}
+	}
+	if view.N() == e.full && !vec[0].IsInf() {
+		prior[0], prior[1] = 0.99, 0.01
+	}
+	return prior, 0
+}
+
+// TestExhaustedSubtreeClosed is the regression test for the dead-end
+// marking bug: once every child of a node is a known dead end,
+// selectAction returns -1 there — and before the fix the node was never
+// marked, so the parent kept re-descending into the spent subtree and
+// those simulations expanded nothing. With the marking, at most a
+// couple of simulations are spent discovering the exhaustion and every
+// other one expands a fresh node.
+func TestExhaustedSubtreeClosed(t *testing.T) {
+	const k = 400
+	g, order := trapGraph(40)
+	st := game.New(g, order)
+	// sanity: the trap is live after v0=0 and springs on any v1 color
+	st.Play(0)
+	if st.DeadEnd() {
+		t.Fatal("trap sprang one move early")
+	}
+	st.Play(0)
+	if !st.DeadEnd() {
+		t.Fatal("trap graph is not a trap")
+	}
+	st.Undo()
+	st.Undo()
+
+	tree := New(rootBiasedEval{full: st.N()}, 2, Config{})
+	tree.Run(st, k)
+	// expansions: k simulations minus the one that discovers the
+	// exhaustion of the v0=0 subtree (plus slack for selection-order
+	// shifts). The unfixed planner wastes ~1.2·√k simulations
+	// re-descending and lands far below this bound.
+	if tree.Nodes() < k-4 {
+		t.Errorf("nodes = %d after %d simulations, want >= %d (budget burned on an exhausted subtree)", tree.Nodes(), k, k-4)
+	}
+	if pi := tree.Policy(); pi[0] != 0 {
+		t.Errorf("exhausted branch still has policy mass: %v", pi)
+	}
+}
+
+// TestForcedDeadEndClosesRoot drives the marking all the way up: when
+// every branch of the root dead-ends, the root itself must become
+// terminal, with an empty policy and no open move, and further
+// simulations must not expand anything.
+func TestForcedDeadEndClosesRoot(t *testing.T) {
+	g := pbqp.New(3, 2)
+	for i := 0; i < 3; i++ {
+		g.SetVertexCost(i, cost.Vector{0, 0})
+	}
+	m02 := cost.NewMatrix(2, 2)
+	m02.Set(0, 0, cost.Inf) // either v0 color kills v2's color 0
+	m02.Set(1, 0, cost.Inf)
+	g.SetEdgeCost(0, 2, m02)
+	m12 := cost.NewMatrix(2, 2)
+	m12.Set(0, 1, cost.Inf) // any v1 color kills v2's color 1
+	m12.Set(1, 1, cost.Inf)
+	g.SetEdgeCost(1, 2, m12)
+
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 100)
+	// reachable states: root, 2 after v0, 4 dead ends after v1
+	if tree.Nodes() > 7 {
+		t.Errorf("nodes = %d, want <= 7 on a 7-state graph", tree.Nodes())
+	}
+	if tree.RootHasMove() {
+		t.Error("root still reports an open move with every branch exhausted")
+	}
+	for a, p := range tree.Policy() {
+		if p != 0 {
+			t.Errorf("policy[%d] = %v on a fully dead root", a, p)
+		}
+	}
+	before := tree.Nodes()
+	tree.Run(st, 50)
+	if tree.Nodes() != before {
+		t.Errorf("closed root still expands nodes: %d -> %d", before, tree.Nodes())
+	}
+}
+
+// TestAdvanceDetachesParent covers the memory fix: without
+// RetainParents, Advance must cut the link to the abandoned parent and
+// its sibling subtrees so they can be collected; Back is then invalid.
+func TestAdvanceDetachesParent(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{})
+	tree.Run(st, 50)
+	old := tree.root
+	st.Play(0)
+	tree.Advance(0)
+	if tree.root.parent != nil {
+		t.Error("advanced root keeps a parent pointer without RetainParents")
+	}
+	if old.children != nil {
+		t.Error("abandoned parent keeps its children reachable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Back after a detaching Advance should panic")
+		}
+	}()
+	tree.Back()
+}
+
+// TestRetainParentsKeepsChain is the backtracking contract: with
+// RetainParents, Advance preserves the chain and Back walks it.
+func TestRetainParentsKeepsChain(t *testing.T) {
+	g := fig2Graph()
+	st := game.New(g, []int{0, 1, 2})
+	tree := New(Uniform{}, 2, Config{RetainParents: true})
+	tree.Run(st, 30)
+	old := tree.root
+	st.Play(0)
+	tree.Advance(0)
+	if tree.root.parent != old {
+		t.Fatal("RetainParents did not keep the parent link")
+	}
+	st.Undo()
+	tree.Back()
+	if tree.root != old {
+		t.Fatal("Back did not return to the abandoned root")
 	}
 }
 

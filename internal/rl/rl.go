@@ -103,6 +103,9 @@ func (s *Solver) SolveStats(g *pbqp.Graph) (solve.Result, Stats) {
 	st.SetGraded(cfg.Graded)
 	mcfg := cfg.MCTS
 	mcfg.HeuristicValue = cfg.HeuristicValue
+	// Backtracking re-roots at the parent after a dead end (Back), so
+	// the parent chain must stay alive; one-way runs let Advance free it.
+	mcfg.RetainParents = cfg.Backtrack
 	tree := mcts.New(s.Net, g.M(), mcfg)
 	run := &runner{cfg: cfg, st: st, tree: tree}
 

@@ -1,0 +1,73 @@
+package selfplay
+
+// replayQueue is the bounded replay buffer, stored as a ring: the
+// logical order (oldest first) starts at head and wraps around the end
+// of buf. Once the queue reaches capacity, each push overwrites the
+// oldest sample in place, so steady-state eviction costs O(pushed)
+// instead of reallocating and copying all ReplayCap samples per episode
+// the way the previous slice implementation did.
+type replayQueue struct {
+	cap  int
+	buf  []Sample
+	head int // physical index of the logically oldest sample
+	size int
+}
+
+func newReplayQueue(capacity int) replayQueue { return replayQueue{cap: capacity} }
+
+// len returns the number of stored samples.
+func (q *replayQueue) len() int { return q.size }
+
+// at returns the sample at logical index i (0 = oldest).
+func (q *replayQueue) at(i int) Sample {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return q.buf[j]
+}
+
+// push appends a sample, overwriting the oldest one at capacity.
+func (q *replayQueue) push(s Sample) {
+	if q.cap <= 0 {
+		return
+	}
+	if q.size < q.cap {
+		// the ring has not wrapped yet: head is 0 and buf holds the
+		// logical order directly
+		q.buf = append(q.buf, s)
+		q.size++
+		return
+	}
+	q.buf[q.head] = s
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+}
+
+// setCap adjusts the capacity (Config.ReplayCap may be changed between
+// iterations), keeping the newest samples and re-linearizing the ring.
+func (q *replayQueue) setCap(capacity int) {
+	if capacity == q.cap {
+		return
+	}
+	keep := q.size
+	if keep > capacity {
+		keep = capacity
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	buf := make([]Sample, keep)
+	for i := 0; i < keep; i++ {
+		buf[i] = q.at(q.size - keep + i)
+	}
+	q.buf, q.head, q.size, q.cap = buf, 0, keep, capacity
+}
+
+// reset drops every sample but keeps the capacity and storage.
+func (q *replayQueue) reset() {
+	clear(q.buf)
+	q.buf, q.head, q.size = q.buf[:0], 0, 0
+}

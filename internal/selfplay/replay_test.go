@@ -1,0 +1,132 @@
+package selfplay
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mark builds a Sample distinguishable by its Z label; the ring buffer
+// never inspects the view, so a nil one is fine here.
+func mark(i int) Sample { return Sample{Z: float64(i)} }
+
+func drain(q *replayQueue) []float64 {
+	out := make([]float64, 0, q.len())
+	for i := 0; i < q.len(); i++ {
+		out = append(out, q.at(i).Z)
+	}
+	return out
+}
+
+func TestReplayQueueFillsThenWraps(t *testing.T) {
+	q := newReplayQueue(3)
+	for i := 0; i < 2; i++ {
+		q.push(mark(i))
+	}
+	if got := drain(&q); got[0] != 0 || got[1] != 1 || len(got) != 2 {
+		t.Fatalf("partial fill order = %v", got)
+	}
+	for i := 2; i < 7; i++ {
+		q.push(mark(i))
+	}
+	// pushed 0..6 into cap 3: logical order must be the newest three
+	got := drain(&q)
+	want := []float64{4, 5, 6}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("after wrap = %v, want %v", got, want)
+	}
+}
+
+// TestReplayQueueMatchesSliceModel drives random push sequences against
+// the obvious slice implementation the ring buffer replaced.
+func TestReplayQueueMatchesSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.Intn(8)
+		q := newReplayQueue(capacity)
+		var model []Sample
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			s := mark(trial*100 + i)
+			q.push(s)
+			model = append(model, s)
+			if len(model) > capacity {
+				model = model[len(model)-capacity:]
+			}
+			if q.len() != len(model) {
+				t.Fatalf("trial %d push %d: len %d, model %d", trial, i, q.len(), len(model))
+			}
+			for j := range model {
+				if q.at(j).Z != model[j].Z {
+					t.Fatalf("trial %d push %d at(%d) = %v, model %v", trial, i, j, q.at(j).Z, model[j].Z)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayQueueSetCap(t *testing.T) {
+	q := newReplayQueue(4)
+	for i := 0; i < 7; i++ { // wrapped: logical order 3,4,5,6
+		q.push(mark(i))
+	}
+	q.setCap(2) // shrink keeps the newest samples
+	if got := drain(&q); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("after shrink = %v, want [5 6]", got)
+	}
+	q.setCap(5) // grow preserves contents and accepts more
+	for i := 7; i < 10; i++ {
+		q.push(mark(i))
+	}
+	if got := drain(&q); len(got) != 5 || got[0] != 5 || got[4] != 9 {
+		t.Fatalf("after grow = %v, want [5 6 7 8 9]", got)
+	}
+	q.setCap(5) // no-op when unchanged
+	if got := drain(&q); len(got) != 5 || got[0] != 5 {
+		t.Fatalf("no-op setCap changed contents: %v", got)
+	}
+}
+
+func TestReplayQueueReset(t *testing.T) {
+	q := newReplayQueue(3)
+	for i := 0; i < 5; i++ {
+		q.push(mark(i))
+	}
+	q.reset()
+	if q.len() != 0 {
+		t.Fatalf("len after reset = %d", q.len())
+	}
+	q.push(mark(9))
+	if got := drain(&q); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("push after reset = %v", got)
+	}
+}
+
+// TestEncodeStateRoundTripsWrappedReplay forces the ring buffer to wrap
+// during real training and checks the checkpoint still round-trips in
+// logical order.
+func TestEncodeStateRoundTripsWrappedReplay(t *testing.T) {
+	tr := tinyTrainer(t, 42)
+	tr.cfg.ReplayCap = 10
+	runIters(t, tr, 2) // enough samples to wrap a cap-10 ring
+	if tr.ReplaySize() != 10 {
+		t.Fatalf("replay size = %d, want full cap 10", tr.ReplaySize())
+	}
+	blob, err := tr.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := tinyTrainer(t, 42)
+	other.cfg.ReplayCap = 10
+	if err := other.DecodeState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if other.ReplaySize() != tr.ReplaySize() {
+		t.Fatalf("replay size %d after decode, want %d", other.ReplaySize(), tr.ReplaySize())
+	}
+	for i := 0; i < tr.replay.len(); i++ {
+		a, b := tr.replay.at(i), other.replay.at(i)
+		if a.Z != b.Z || a.View.N() != b.View.N() {
+			t.Fatalf("sample %d diverged after wrapped round trip", i)
+		}
+	}
+}

@@ -230,8 +230,8 @@ func TestEncodeStateRoundTripsReplayViews(t *testing.T) {
 	if err := other.DecodeState(blob); err != nil {
 		t.Fatal(err)
 	}
-	for i := range tr.replay {
-		a, b := tr.replay[i], other.replay[i]
+	for i := 0; i < tr.replay.len(); i++ {
+		a, b := tr.replay.at(i), other.replay.at(i)
 		if a.Z != b.Z || a.View.N() != b.View.N() {
 			t.Fatalf("sample %d shape/label mismatch", i)
 		}

@@ -76,6 +76,16 @@ type Config struct {
 	Order game.Order
 	// MCTS configures the search constants.
 	MCTS mcts.Config
+	// Workers is the number of goroutines playing self-play episodes
+	// (and arena games) concurrently, each on its own clone of the
+	// networks; 0 or 1 plays sequentially. Every episode's randomness
+	// comes from a seed pre-drawn from the master stream and results
+	// are merged in episode order, so any worker count — including
+	// resuming a checkpoint under a different one — trains
+	// bit-identically. With Workers > 1, Generate must be safe for
+	// concurrent calls (derive all randomness from the rng it is
+	// handed).
+	Workers int
 	// Generate produces the episode graph distribution (paper:
 	// Erdős–Rényi with normally distributed n). Required.
 	Generate func(rng *rand.Rand) *pbqp.Graph
@@ -120,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.NoiseFrac == 0 {
 		c.NoiseFrac = 0.25
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
 	return c
 }
 
@@ -154,7 +167,7 @@ type Trainer struct {
 	cfg    Config
 	cur    *net.PBQPNet // θ, the network being trained
 	best   *net.PBQPNet // θ*, the best player so far
-	replay []Sample
+	replay replayQueue
 	opt    *nn.Adam
 	src    *pcgSource // serializable master RNG stream
 	rng    *rand.Rand
@@ -179,7 +192,7 @@ func NewTrainer(n *net.PBQPNet, cfg Config) (*Trainer, error) {
 		return nil, errors.New("selfplay: Config.Generate is required")
 	}
 	if cfg.EpisodesPerIter < 0 || cfg.KTrain < 0 || cfg.ReplayCap < 0 ||
-		cfg.BatchSize < 0 || cfg.TrainSteps < 0 || cfg.ArenaGames < 0 {
+		cfg.BatchSize < 0 || cfg.TrainSteps < 0 || cfg.ArenaGames < 0 || cfg.Workers < 0 {
 		return nil, fmt.Errorf("selfplay: negative size in config %+v", cfg)
 	}
 	if cfg.LR < 0 || cfg.L2 < 0 {
@@ -188,12 +201,13 @@ func NewTrainer(n *net.PBQPNet, cfg Config) (*Trainer, error) {
 	cfg = cfg.withDefaults()
 	src := newPCGSource(cfg.Seed)
 	return &Trainer{
-		cfg:  cfg,
-		cur:  n,
-		best: n.Clone(),
-		opt:  nn.NewAdam(cfg.LR),
-		src:  src,
-		rng:  rand.New(src),
+		cfg:    cfg,
+		cur:    n,
+		best:   n.Clone(),
+		replay: newReplayQueue(cfg.ReplayCap),
+		opt:    nn.NewAdam(cfg.LR),
+		src:    src,
+		rng:    rand.New(src),
 	}, nil
 }
 
@@ -214,7 +228,7 @@ func (t *Trainer) Current() *net.PBQPNet { return t.cur }
 func (t *Trainer) Best() *net.PBQPNet { return t.best }
 
 // ReplaySize returns the number of tuples in the replay queue.
-func (t *Trainer) ReplaySize() int { return len(t.replay) }
+func (t *Trainer) ReplaySize() int { return t.replay.len() }
 
 // Iter returns the number of completed iterations; an interrupted
 // iteration does not count until it finishes.
@@ -255,39 +269,34 @@ func (t *Trainer) RunIteration(ctx context.Context) (IterStats, error) {
 	start := 0
 	if t.pending != nil {
 		stats, start = *t.pending, t.pendingEpisode
-		t.pending = nil
+		// clear both fields: a stale pendingEpisode is ignored while
+		// pending is nil, but it would leak into EncodeState and break
+		// byte-identity with an uninterrupted run
+		t.pending, t.pendingEpisode = nil, 0
 	} else {
 		t.iter++
 		stats = IterStats{Iteration: t.iter, Episodes: t.cfg.EpisodesPerIter}
 	}
-	for e := start; e < t.cfg.EpisodesPerIter; e++ {
-		if err := ctx.Err(); err != nil {
+	if t.cfg.Workers > 1 {
+		next, err := t.runEpisodesParallel(ctx, start, &stats)
+		if err != nil {
 			snap := stats
-			t.pending, t.pendingEpisode = &snap, e
+			t.pending, t.pendingEpisode = &snap, next
 			return stats, err
 		}
-		epSeed := t.rng.Int63()
-		z, samples, err := t.runEpisode(epSeed)
-		if err != nil {
-			stats.Skipped++
-			t.logf("selfplay: iteration %d episode %d skipped: %v", stats.Iteration, e, err)
-			continue
+	} else {
+		for e := start; e < t.cfg.EpisodesPerIter; e++ {
+			if err := ctx.Err(); err != nil {
+				snap := stats
+				t.pending, t.pendingEpisode = &snap, e
+				return stats, err
+			}
+			epSeed := t.rng.Int63()
+			z, samples, err := runEpisode(&t.cfg, t.cur, t.best, epSeed)
+			t.recordEpisode(&stats, e, z, samples, err)
 		}
-		switch {
-		case z > 0:
-			stats.Wins++
-		case z < 0:
-			stats.Losses++
-		default:
-			stats.Ties++
-		}
-		for i := range samples {
-			samples[i].Z = z
-		}
-		t.enqueue(samples)
-		stats.Samples += len(samples)
 	}
-	stats.ReplaySize = len(t.replay)
+	stats.ReplaySize = t.replay.len()
 	avg, err := t.train()
 	stats.AvgLoss = avg
 	if err != nil {
@@ -306,13 +315,94 @@ func (t *Trainer) RunIteration(ctx context.Context) (IterStats, error) {
 	return stats, nil
 }
 
+// recordEpisode merges the outcome of episode e into the iteration
+// stats and the replay queue. Both the sequential loop and the parallel
+// merge call it in strict episode order, which is what keeps the replay
+// contents and stats independent of the worker count.
+func (t *Trainer) recordEpisode(stats *IterStats, e int, z float64, samples []Sample, err error) {
+	if err != nil {
+		stats.Skipped++
+		t.logf("selfplay: iteration %d episode %d skipped: %v", stats.Iteration, e, err)
+		return
+	}
+	switch {
+	case z > 0:
+		stats.Wins++
+	case z < 0:
+		stats.Losses++
+	default:
+		stats.Ties++
+	}
+	for i := range samples {
+		samples[i].Z = z
+	}
+	t.enqueue(samples)
+	stats.Samples += len(samples)
+}
+
+// runEpisodesParallel plays episodes [start, EpisodesPerIter) on the
+// worker pool and merges the results in episode order. All episode
+// seeds are pre-drawn from the master stream in episode order, so a
+// completed loop leaves the stream exactly where the sequential loop
+// would. On cancellation, dispatching stops, in-flight episodes finish
+// and are committed, and the stream is rewound to cover exactly the
+// committed prefix — so the returned resume position carries the same
+// pendingEpisode semantics as the sequential loop and a resumed run
+// stays bit-identical. The returned error is ctx's error, nil when the
+// loop completed.
+func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *IterStats) (int, error) {
+	total := t.cfg.EpisodesPerIter
+	if start >= total {
+		return total, nil
+	}
+	pre, err := t.src.state()
+	if err != nil {
+		// the PCG state marshal cannot fail; losing it silently would
+		// forfeit the rewind guarantee, so fail loudly
+		panic("selfplay: snapshot master RNG: " + err.Error())
+	}
+	seeds := make([]int64, total-start)
+	for i := range seeds {
+		seeds[i] = t.rng.Int63()
+	}
+	type outcome struct {
+		z       float64
+		samples []Sample
+		err     error
+	}
+	results, dispatched := runParallel(ctx, t.cfg.Workers, len(seeds),
+		func() (cur, best *net.PBQPNet) { return t.cur.Clone(), t.best.Clone() },
+		func(cur, best *net.PBQPNet, i int) outcome {
+			z, samples, err := runEpisode(&t.cfg, cur, best, seeds[i])
+			return outcome{z, samples, err}
+		})
+	for i := 0; i < dispatched; i++ {
+		r := results[i]
+		t.recordEpisode(stats, start+i, r.z, r.samples, r.err)
+	}
+	if dispatched == len(seeds) {
+		return total, nil
+	}
+	// interrupted: rewind the master stream to exactly the seeds of the
+	// committed prefix, as if the sequential loop had stopped here
+	if err := t.src.setState(pre); err != nil {
+		panic("selfplay: rewind master RNG: " + err.Error())
+	}
+	for i := 0; i < dispatched; i++ {
+		t.rng.Int63()
+	}
+	return start + dispatched, ctx.Err()
+}
+
 // runEpisode plays one self-play episode pair (best, then current, on
 // the same graph) seeded by epSeed, which fully determines the episode:
 // a panic anywhere inside — graph generation, MCTS, the network — is
 // recovered into an error carrying epSeed so the failure is
 // reproducible offline, and the master RNG stream is unaffected beyond
-// the single draw that produced epSeed.
-func (t *Trainer) runEpisode(epSeed int64) (z float64, samples []Sample, err error) {
+// the single draw that produced epSeed. It runs on the trainer's own
+// networks in the sequential path and on per-worker clones in the
+// parallel one.
+func runEpisode(cfg *Config, cur, best *net.PBQPNet, epSeed int64) (z float64, samples []Sample, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			z, samples = 0, nil
@@ -320,10 +410,10 @@ func (t *Trainer) runEpisode(epSeed int64) (z float64, samples []Sample, err err
 		}
 	}()
 	rng := rand.New(rand.NewSource(epSeed))
-	g := t.cfg.Generate(rng)
-	order := game.MakeOrder(g, t.cfg.Order, rng)
-	baseCost, _ := t.playEpisode(rng, t.best, g, order, false)
-	curCost, samples := t.playEpisode(rng, t.cur, g, order, true)
+	g := cfg.Generate(rng)
+	order := game.MakeOrder(g, cfg.Order, rng)
+	baseCost, _ := playEpisode(cfg, rng, best, g, order, false)
+	curCost, samples := playEpisode(cfg, rng, cur, g, order, true)
 	return game.CompareCosts(curCost, baseCost), samples, nil
 }
 
@@ -331,18 +421,18 @@ func (t *Trainer) runEpisode(epSeed int64) (z float64, samples []Sample, err err
 // training runs (collect) and greedy argmax otherwise. It returns the
 // achieved cost (infinite on a dead end) and, for training runs, the
 // collected tuples (with Z still unset).
-func (t *Trainer) playEpisode(rng *rand.Rand, n *net.PBQPNet, g *pbqp.Graph, order []int, collect bool) (cost.Cost, []Sample) {
+func playEpisode(cfg *Config, rng *rand.Rand, n *net.PBQPNet, g *pbqp.Graph, order []int, collect bool) (cost.Cost, []Sample) {
 	st := game.New(g, order)
-	tree := mcts.New(n, g.M(), t.cfg.MCTS)
+	tree := mcts.New(n, g.M(), cfg.MCTS)
 	var samples []Sample
 	for !st.Done() {
 		if st.DeadEnd() {
 			return cost.Inf, samples
 		}
-		tree.Run(st, t.cfg.KTrain)
-		if collect && t.cfg.RootNoise {
-			tree.AddRootNoise(rng, t.cfg.NoiseAlpha, t.cfg.NoiseFrac)
-			tree.Run(st, t.cfg.KTrain/2+1)
+		tree.Run(st, cfg.KTrain)
+		if collect && cfg.RootNoise {
+			tree.AddRootNoise(rng, cfg.NoiseAlpha, cfg.NoiseFrac)
+			tree.Run(st, cfg.KTrain/2+1)
 		}
 		pi := tree.Policy()
 		var a int
@@ -388,11 +478,12 @@ func samplePolicy(rng *rand.Rand, pi tensor.Vec) int {
 }
 
 // enqueue appends samples to the replay queue, evicting the oldest
-// tuples beyond the capacity.
+// tuples beyond the capacity (the queue tracks ReplayCap in case the
+// caller adjusted it between iterations).
 func (t *Trainer) enqueue(samples []Sample) {
-	t.replay = append(t.replay, samples...)
-	if over := len(t.replay) - t.cfg.ReplayCap; over > 0 {
-		t.replay = append([]Sample(nil), t.replay[over:]...)
+	t.replay.setCap(t.cfg.ReplayCap)
+	for _, s := range samples {
+		t.replay.push(s)
 	}
 }
 
@@ -402,7 +493,7 @@ func (t *Trainer) enqueue(samples []Sample) {
 // non-finite weights — so the caller can abort before a poisoned
 // network reaches a checkpoint or the promotion gate.
 func (t *Trainer) train() (float64, error) {
-	if len(t.replay) == 0 {
+	if t.replay.len() == 0 {
 		return 0, t.checkFinite()
 	}
 	t.cur.SetTraining(true)
@@ -410,7 +501,7 @@ func (t *Trainer) train() (float64, error) {
 	totalLoss, count := 0.0, 0
 	for step := 0; step < t.cfg.TrainSteps; step++ {
 		for b := 0; b < t.cfg.BatchSize; b++ {
-			s := t.replay[t.rng.Intn(len(t.replay))]
+			s := t.replay.at(t.rng.Intn(t.replay.len()))
 			logits, v := t.cur.Forward(s.View)
 			mask := net.Mask(s.View)
 			p := nn.Softmax(logits, mask)
@@ -444,14 +535,26 @@ func (t *Trainer) checkFinite() error {
 
 // arena plays ArenaGames fresh graphs with both networks (greedy
 // inference runs) and returns how many the current network wins and
-// loses outright.
+// loses outright. Like the episode loop, each game is fully determined
+// by a seed pre-drawn from the master stream, so the games parallelize
+// over the worker pool without perturbing the stream.
 func (t *Trainer) arena() (wins, losses int) {
-	for i := 0; i < t.cfg.ArenaGames; i++ {
-		g := t.cfg.Generate(t.rng)
-		order := game.MakeOrder(g, t.cfg.Order, t.rng)
-		curCost, _ := t.playEpisode(t.rng, t.cur, g, order, false)
-		bestCost, _ := t.playEpisode(t.rng, t.best, g, order, false)
-		switch game.CompareCosts(curCost, bestCost) {
+	seeds := make([]int64, t.cfg.ArenaGames)
+	for i := range seeds {
+		seeds[i] = t.rng.Int63()
+	}
+	var cmps []int
+	if t.cfg.Workers > 1 {
+		cmps, _ = runParallel(context.Background(), t.cfg.Workers, len(seeds),
+			func() (cur, best *net.PBQPNet) { return t.cur.Clone(), t.best.Clone() },
+			func(cur, best *net.PBQPNet, i int) int { return arenaGame(&t.cfg, cur, best, seeds[i]) })
+	} else {
+		for _, seed := range seeds {
+			cmps = append(cmps, arenaGame(&t.cfg, t.cur, t.best, seed))
+		}
+	}
+	for _, c := range cmps {
+		switch c {
 		case 1:
 			wins++
 		case -1:
@@ -459,4 +562,16 @@ func (t *Trainer) arena() (wins, losses int) {
 		}
 	}
 	return wins, losses
+}
+
+// arenaGame plays one evaluation game, fully determined by seed, and
+// returns the comparison of the current network's cost against the best
+// network's (+1 current wins, -1 loses, 0 tie).
+func arenaGame(cfg *Config, cur, best *net.PBQPNet, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	g := cfg.Generate(rng)
+	order := game.MakeOrder(g, cfg.Order, rng)
+	curCost, _ := playEpisode(cfg, rng, cur, g, order, false)
+	bestCost, _ := playEpisode(cfg, rng, best, g, order, false)
+	return int(game.CompareCosts(curCost, bestCost))
 }

@@ -64,7 +64,8 @@ func TestRunIterationCollectsAndTrains(t *testing.T) {
 func TestSamplesHaveConsistentLabels(t *testing.T) {
 	tr := tinyTrainer(t, 2)
 	tr.RunIteration(context.Background())
-	for i, s := range tr.replay {
+	for i := 0; i < tr.replay.len(); i++ {
+		s := tr.replay.at(i)
 		if s.Z != 1 && s.Z != -1 && s.Z != 0 {
 			t.Fatalf("sample %d has reward %v", i, s.Z)
 		}

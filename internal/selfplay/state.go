@@ -148,8 +148,10 @@ func (t *Trainer) EncodeState() ([]byte, error) {
 		Adam:           t.opt.State(t.cur.Params()),
 		RNG:            rng,
 	}
-	for _, s := range t.replay {
-		st.Replay = append(st.Replay, freezeSample(s))
+	// logical (oldest-first) order, so the encoding is byte-identical
+	// to the pre-ring-buffer slice layout and v1 checkpoints round-trip
+	for i := 0; i < t.replay.len(); i++ {
+		st.Replay = append(st.Replay, freezeSample(t.replay.at(i)))
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -183,9 +185,10 @@ func (t *Trainer) DecodeState(data []byte) error {
 	t.rng = rand.New(t.src)
 	t.iter = st.Iter
 	t.pending, t.pendingEpisode = st.Pending, st.PendingEpisode
-	t.replay = t.replay[:0]
+	t.replay.reset()
+	t.replay.setCap(t.cfg.ReplayCap)
 	for _, rs := range st.Replay {
-		t.replay = append(t.replay, thawSample(rs))
+		t.replay.push(thawSample(rs))
 	}
 	return nil
 }

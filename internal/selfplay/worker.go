@@ -1,0 +1,76 @@
+// Worker pool for parallel self-play: episodes (and arena games) of one
+// iteration are independent given their pre-drawn seeds and the frozen
+// iteration networks, so they fan out over a fixed pool of goroutines
+// and merge back in episode order. Every source of randomness a job
+// sees is derived from its own seed, and every job runs on bit-exact
+// clones of the networks, so a parallel run is bit-identical to a
+// sequential one regardless of scheduling.
+package selfplay
+
+import (
+	"context"
+	"sync"
+
+	"pbqprl/internal/net"
+)
+
+// runParallel fans jobs 0..n-1 out over a pool of `workers` goroutines,
+// each holding its own clone pair of the trainer's networks
+// (net.PBQPNet.Forward caches intermediate activations and is not
+// goroutine-safe). Dispatching checks ctx at every job boundary and
+// stops once it is cancelled; in-flight jobs always finish, exactly
+// like the sequential loop finishes its in-flight episode. The results
+// of the dispatched prefix are returned in job order along with the
+// prefix length.
+//
+// Jobs must depend only on their index and the networks they are
+// handed — never on dispatch timing — which is what keeps a parallel
+// run bit-identical to a sequential one.
+func runParallel[R any](ctx context.Context, workers, n int, clone func() (cur, best *net.PBQPNet), job func(cur, best *net.PBQPNet, i int) R) ([]R, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	type indexed struct {
+		i int
+		r R
+	}
+	// fully buffered so a worker never blocks publishing a result while
+	// the dispatcher is blocked handing out the next job
+	results := make(chan indexed, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cur, best := clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- indexed{i, job(cur, best, i)}
+			}
+		}()
+	}
+	dispatched := 0
+dispatch:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	out := make([]R, dispatched)
+	for r := range results {
+		out[r.i] = r.r
+	}
+	return out, dispatched
+}
