@@ -1,19 +1,36 @@
 // Command pbqp-solve reads a PBQP problem in the textual format of
 // internal/pbqp (see `pbqp-solve -help` for the grammar) and solves it
-// with the selected solver.
+// with the selected solver or a deadline-aware solver portfolio.
 //
 // Usage:
 //
-//	pbqp-solve [-solver brute|scholz|liberty|anneal|rl|rl-bt] [-k N] [-order fixed|random|inc|dec] file.pbqp
+//	pbqp-solve [-solver brute|scholz|liberty|anneal|rl|rl-bt] [-k N] [-order fixed|random|inc|dec]
+//	           [-timeout 50ms] [-portfolio] file.pbqp
 //
 // The rl solvers use an untrained (uniform-prior) network unless -net
-// points at a checkpoint produced by pbqp-train.
+// points at a checkpoint produced by pbqp-train. -timeout bounds the
+// wall-clock time of the whole solve; on expiry the best selection
+// found so far is printed and the result is marked truncated.
+// -portfolio ignores -solver and runs the fallback chain
+// deep-rl+backtrack → liberty → scholz, splitting the timeout across
+// stages, recovering stage panics, and keeping the cheapest feasible
+// answer.
+//
+// Exit status:
+//
+//	0  a feasible selection was found and the search completed
+//	1  usage or I/O error
+//	2  the problem is infeasible (search completed, no selection)
+//	3  the deadline truncated the search (feasible best-so-far, if
+//	   any, is still printed)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pbqprl/internal/experiments"
 	"pbqprl/internal/game"
@@ -24,7 +41,15 @@ import (
 	"pbqprl/internal/solve/anneal"
 	"pbqprl/internal/solve/brute"
 	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/portfolio"
 	"pbqprl/internal/solve/scholz"
+)
+
+const (
+	exitOK         = 0
+	exitError      = 1
+	exitInfeasible = 2
+	exitTruncated  = 3
 )
 
 func main() {
@@ -33,11 +58,13 @@ func main() {
 	orderFlag := flag.String("order", "dec", "coloring order for rl solvers: fixed, random, inc, dec")
 	netPath := flag.String("net", "", "network checkpoint for rl solvers (empty: uniform prior)")
 	maxStates := flag.Int64("max-states", 50_000_000, "search budget")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = unlimited); exceeding it returns the best-so-far with exit status 3")
+	usePortfolio := flag.Bool("portfolio", false, "run the deep-rl+backtrack → liberty → scholz fallback chain under -timeout instead of -solver")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pbqp-solve [flags] file.pbqp")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitError)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -49,17 +76,7 @@ func main() {
 		fatal(err)
 	}
 
-	var s solve.Solver
-	switch *solver {
-	case "brute":
-		s = brute.Solver{MaxStates: *maxStates}
-	case "scholz":
-		s = scholz.Solver{}
-	case "liberty":
-		s = liberty.Solver{MaxStates: *maxStates}
-	case "anneal":
-		s = anneal.Solver{}
-	case "rl", "rl-bt":
+	rlSolver := func(backtrack bool) solve.Solver {
 		var evaluator mcts.Evaluator = mcts.Uniform{}
 		if *netPath != "" {
 			n := experiments.LoadNet(*netPath)
@@ -68,31 +85,87 @@ func main() {
 			}
 			evaluator = n
 		}
-		s = &rl.Solver{Net: evaluator, Cfg: rl.Config{
+		return &rl.Solver{Net: evaluator, Cfg: rl.Config{
 			K:            *k,
 			Order:        parseOrder(*orderFlag),
-			Backtrack:    *solver == "rl-bt",
+			Backtrack:    backtrack,
 			ReinvokeMCTS: true,
 			MaxNodes:     *maxStates,
 		}}
-	default:
-		fatal(fmt.Errorf("unknown solver %q", *solver))
 	}
 
-	res := s.Solve(g)
-	fmt.Printf("solver:   %s\n", s.Name())
-	fmt.Printf("feasible: %v\n", res.Feasible)
-	fmt.Printf("states:   %d\n", res.States)
+	var s solve.Solver
+	switch {
+	case *usePortfolio:
+		s = portfolio.New(*timeout,
+			rlSolver(true),
+			liberty.Solver{MaxStates: *maxStates},
+			scholz.Solver{},
+		)
+	default:
+		switch *solver {
+		case "brute":
+			s = brute.Solver{MaxStates: *maxStates}
+		case "scholz":
+			s = scholz.Solver{}
+		case "liberty":
+			s = liberty.Solver{MaxStates: *maxStates}
+		case "anneal":
+			s = anneal.Solver{}
+		case "rl", "rl-bt":
+			s = rlSolver(*solver == "rl-bt")
+		default:
+			fatal(fmt.Errorf("unknown solver %q", *solver))
+		}
+	}
+
+	var res solve.Result
+	var stats *portfolio.Stats
+	if p, ok := s.(*portfolio.Solver); ok {
+		// The portfolio manages its own -timeout budget itself; per-stage
+		// outcomes are worth reporting.
+		r, st := p.SolveStats(context.Background(), g)
+		res, stats = r, &st
+	} else if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		res = solve.SolveCtx(ctx, s, g)
+		cancel()
+	} else {
+		res = s.Solve(g)
+	}
+
+	fmt.Printf("solver:    %s\n", s.Name())
+	fmt.Printf("feasible:  %v\n", res.Feasible)
+	fmt.Printf("truncated: %v\n", res.Truncated)
+	fmt.Printf("states:    %d\n", res.States)
+	if stats != nil {
+		for _, out := range stats.Stages {
+			switch {
+			case out.Skipped:
+				fmt.Printf("stage %-22s skipped (budget exhausted or earlier stage succeeded)\n", out.Name+":")
+			case out.Panicked:
+				fmt.Printf("stage %-22s PANICKED (%s) in %v\n", out.Name+":", out.PanicValue, out.Duration.Round(time.Microsecond))
+			default:
+				fmt.Printf("stage %-22s feasible=%v truncated=%v states=%d in %v\n",
+					out.Name+":", out.Result.Feasible, out.Result.Truncated, out.Result.States, out.Duration.Round(time.Microsecond))
+			}
+		}
+	}
 	if res.Feasible {
-		fmt.Printf("cost:     %s\n", res.Cost)
+		fmt.Printf("cost:      %s\n", res.Cost)
 		fmt.Printf("selection:")
 		for _, c := range res.Selection {
 			fmt.Printf(" %d", c)
 		}
 		fmt.Println()
-	} else {
-		os.Exit(1)
 	}
+	switch {
+	case res.Truncated:
+		os.Exit(exitTruncated)
+	case !res.Feasible:
+		os.Exit(exitInfeasible)
+	}
+	os.Exit(exitOK)
 }
 
 func parseOrder(s string) game.Order {
@@ -113,5 +186,5 @@ func parseOrder(s string) game.Order {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pbqp-solve:", err)
-	os.Exit(1)
+	os.Exit(exitError)
 }

@@ -9,6 +9,7 @@
 package mcts
 
 import (
+	"context"
 	"math"
 
 	"pbqprl/internal/game"
@@ -107,9 +108,23 @@ func (t *Tree) Nodes() int64 { return t.nodes }
 // must correspond to state s. The state is mutated during simulation
 // and restored before Run returns.
 func (t *Tree) Run(s *game.State, k int) {
+	t.RunCtx(context.Background(), s, k)
+}
+
+// RunCtx is Run under a context: the context is polled before every
+// simulation, so cancellation lands within one simulation's latency
+// (one root-to-leaf descent plus one evaluator call). It returns the
+// number of simulations actually performed; the tree and state are
+// always left consistent, partial batches simply carry less-visited
+// root statistics.
+func (t *Tree) RunCtx(ctx context.Context, s *game.State, k int) int {
 	for i := 0; i < k; i++ {
+		if ctx.Err() != nil {
+			return i
+		}
 		t.simulate(s, t.root)
 	}
+	return k
 }
 
 // simulate is Algorithm 1: descend by UCB to an undiscovered leaf,

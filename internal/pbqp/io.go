@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -55,11 +56,30 @@ func (g *Graph) String() string {
 	return b.String()
 }
 
-// Read parses a graph in the textual PBQP format.
+// Parser hardening bounds. A hostile header like "pbqp 2000000000 9999"
+// would otherwise allocate n·m cost entries before a single byte of
+// content is validated; graphs past these caps are rejected up front.
+// Real register-allocation problems are orders of magnitude smaller.
+const (
+	// MaxVertices is the largest vertex count Read accepts.
+	MaxVertices = 1 << 22
+	// MaxColors is the largest color count (register-class size) Read
+	// accepts.
+	MaxColors = 1 << 12
+	// maxCostEntries caps the total vertex-vector allocation n·m.
+	maxCostEntries = 1 << 26
+)
+
+// Read parses a graph in the textual PBQP format. Malformed input —
+// absurd or negative dimensions, costs in the reserved infinite range
+// that are not spelled "inf", NaN, duplicate vertex or edge lines,
+// out-of-range endpoints, truncated lines — yields a descriptive error;
+// Read never panics on any input.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var g *Graph
+	var seenVertex []bool
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -84,7 +104,17 @@ func Read(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil || n < 0 || m <= 0 {
 				return nil, fmt.Errorf("pbqp: line %d: bad dimensions", lineno)
 			}
+			if n > MaxVertices {
+				return nil, fmt.Errorf("pbqp: line %d: vertex count %d exceeds the limit %d", lineno, n, MaxVertices)
+			}
+			if m > MaxColors {
+				return nil, fmt.Errorf("pbqp: line %d: color count %d exceeds the limit %d", lineno, m, MaxColors)
+			}
+			if n > 0 && n*m > maxCostEntries {
+				return nil, fmt.Errorf("pbqp: line %d: graph size %d×%d exceeds the total cost-entry limit", lineno, n, m)
+			}
 			g = New(n, m)
+			seenVertex = make([]bool, n)
 		case "v":
 			if g == nil {
 				return nil, fmt.Errorf("pbqp: line %d: vertex before header", lineno)
@@ -96,6 +126,10 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil || u < 0 || u >= g.NumVertices() {
 				return nil, fmt.Errorf("pbqp: line %d: bad vertex id", lineno)
 			}
+			if seenVertex[u] {
+				return nil, fmt.Errorf("pbqp: line %d: duplicate vertex %d", lineno, u)
+			}
+			seenVertex[u] = true
 			vec, err := parseCosts(fields[2:])
 			if err != nil {
 				return nil, fmt.Errorf("pbqp: line %d: %w", lineno, err)
@@ -114,6 +148,9 @@ func Read(r io.Reader) (*Graph, error) {
 				u >= g.NumVertices() || v >= g.NumVertices() || u == v {
 				return nil, fmt.Errorf("pbqp: line %d: bad edge endpoints", lineno)
 			}
+			if g.HasEdge(u, v) {
+				return nil, fmt.Errorf("pbqp: line %d: duplicate edge (%d,%d)", lineno, u, v)
+			}
 			vec, err := parseCosts(fields[3:])
 			if err != nil {
 				return nil, fmt.Errorf("pbqp: line %d: %w", lineno, err)
@@ -125,7 +162,7 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pbqp: line %d: read: %w", lineno+1, err)
 	}
 	if g == nil {
 		return nil, fmt.Errorf("pbqp: missing header")
@@ -139,6 +176,17 @@ func parseCosts(fields []string) (cost.Vector, error) {
 		c, err := cost.Parse(f)
 		if err != nil {
 			return nil, err
+		}
+		// cost.Parse rejects NaN and -∞ outright; additionally reject
+		// finite literals whose magnitude falls in the reserved
+		// infinite range (≥ MaxFloat64/4). A positive one would
+		// silently behave as "forbidden" (IsInf), a negative one breaks
+		// the saturating arithmetic — both are almost certainly
+		// corrupted input, and the explicit spelling "inf" exists.
+		if fl, ferr := strconv.ParseFloat(strings.TrimSpace(f), 64); ferr == nil && !math.IsInf(fl, 0) {
+			if cost.Cost(fl).IsInf() || cost.Cost(-fl).IsInf() {
+				return nil, fmt.Errorf("pbqp: finite cost %q is in the reserved infinite range; write \"inf\"", f)
+			}
 		}
 		v[i] = c
 	}

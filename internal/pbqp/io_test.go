@@ -1,0 +1,133 @@
+package pbqp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pbqprl/internal/cost"
+)
+
+// TestReadRejectsHostileInput exercises the parser hardening: every
+// case must produce a descriptive error, never a panic, a silent
+// misparse, or a giant allocation.
+func TestReadRejectsHostileInput(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "missing header"},
+		{"comment only", "# nothing\n", "missing header"},
+		{"negative n", "pbqp -1 2\n", "bad dimensions"},
+		{"zero m", "pbqp 3 0\n", "bad dimensions"},
+		{"negative m", "pbqp 3 -2\n", "bad dimensions"},
+		{"absurd n", "pbqp 2000000000 2\n", "exceeds the limit"},
+		{"absurd m", "pbqp 2 99999\n", "exceeds the limit"},
+		{"absurd product", "pbqp 4000000 4000\n", "cost-entry limit"},
+		{"duplicate header", "pbqp 1 1\npbqp 1 1\n", "duplicate header"},
+		{"vertex before header", "v 0 1\n", "vertex before header"},
+		{"edge before header", "e 0 1 0\n", "edge before header"},
+		{"bad vertex id", "pbqp 2 2\nv 7 0 0\n", "bad vertex id"},
+		{"duplicate vertex", "pbqp 2 2\nv 0 1 2\nv 0 3 4\n", "duplicate vertex"},
+		{"truncated vertex line", "pbqp 2 2\nv 0 1\n", "wants 2 costs"},
+		{"truncated edge line", "pbqp 2 2\ne 0 1 1 2 3\n", "wants 4 costs"},
+		{"self loop", "pbqp 2 2\ne 1 1 0 0 0 0\n", "bad edge endpoints"},
+		{"edge out of range", "pbqp 2 2\ne 0 5 0 0 0 0\n", "bad edge endpoints"},
+		{"duplicate edge", "pbqp 2 2\ne 0 1 0 0 0 0\ne 0 1 1 1 1 1\n", "duplicate edge"},
+		{"duplicate edge reversed", "pbqp 2 2\ne 0 1 0 0 0 0\ne 1 0 1 1 1 1\n", "duplicate edge"},
+		{"NaN cost", "pbqp 1 2\nv 0 NaN 0\n", "not a valid PBQP cost"},
+		{"negative infinity", "pbqp 1 2\nv 0 -inf 0\n", "not a valid PBQP cost"},
+		{"reserved range positive", "pbqp 1 2\nv 0 1e308 0\n", "reserved infinite range"},
+		{"reserved range negative", "pbqp 1 2\nv 0 -1e308 0\n", "reserved infinite range"},
+		{"reserved range edge", "pbqp 2 1\ne 0 1 8e307\n", "reserved infinite range"},
+		{"unknown directive", "pbqp 1 1\nq 0\n", "unknown directive"},
+		{"garbage cost", "pbqp 1 1\nv 0 zebra\n", "parse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Read(%q) accepted, graph %v", tc.in, g)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Read(%q) error %q, want it to mention %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadAcceptsExplicitInfinitySpellings pins that the reserved-range
+// rejection does not catch intentional infinities.
+func TestReadAcceptsExplicitInfinitySpellings(t *testing.T) {
+	for _, spelling := range []string{"inf", "INF", "Inf", "+inf", "infinity"} {
+		g, err := Read(strings.NewReader("pbqp 1 2\nv 0 " + spelling + " 3\n"))
+		if err != nil {
+			t.Fatalf("spelling %q rejected: %v", spelling, err)
+		}
+		if !g.VertexCost(0)[0].IsInf() || g.VertexCost(0)[1] != 3 {
+			t.Fatalf("spelling %q parsed as %v", spelling, g.VertexCost(0))
+		}
+	}
+}
+
+// FuzzReadGraph asserts the parser's two safety properties on arbitrary
+// bytes: it never panics, and anything it accepts serializes through
+// Write→Read→Write byte-stably.
+func FuzzReadGraph(f *testing.F) {
+	f.Add([]byte("pbqp 3 2\nv 0 5 2\nv 1 5 0\ne 0 1 0 inf inf 4\n"))
+	f.Add([]byte("pbqp 1 1\n"))
+	f.Add([]byte("pbqp 2 2\n# comment\nv 1 inf 0\ne 0 1 1 2 3 4\n"))
+	f.Add([]byte("pbqp 0 3\n"))
+	f.Add([]byte("pbqp 2 2\ne 1 0 0.5 -1 2e3 inf\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var first bytes.Buffer
+		if err := Write(&first, g); err != nil {
+			t.Fatalf("cannot serialize accepted graph: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, g2); err != nil {
+			t.Fatalf("cannot re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write→Read→Write not byte-stable:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// TestWriteReadRoundTrip pins exact value round-tripping, including
+// awkward floats.
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := New(3, 2)
+	g.SetVertexCost(0, cost.Vector{0.1, cost.Inf})
+	g.SetVertexCost(1, cost.Vector{1e307, 1.0 / 3})
+	g.SetEdgeCost(0, 2, cost.NewMatrixFrom([][]cost.Cost{
+		{0, 0.30000000000000004},
+		{cost.Inf, 42},
+	}))
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.Bytes())
+	}
+	for u := 0; u < 3; u++ {
+		if !g.VertexCost(u).Equal(h.VertexCost(u)) {
+			t.Fatalf("vertex %d: %v != %v", u, g.VertexCost(u), h.VertexCost(u))
+		}
+	}
+	if !g.EdgeCost(0, 2).Equal(h.EdgeCost(0, 2)) {
+		t.Fatalf("edge (0,2): %v != %v", g.EdgeCost(0, 2), h.EdgeCost(0, 2))
+	}
+}

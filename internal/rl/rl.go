@@ -11,6 +11,7 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 
 	"pbqprl/internal/cost"
@@ -88,8 +89,24 @@ func (s *Solver) Solve(g *pbqp.Graph) solve.Result {
 	return res
 }
 
+// SolveCtx implements solve.ContextSolver. The context is polled before
+// every MCTS simulation and every coloring action, so cancellation
+// lands within one simulation's latency. The solver commits to a
+// coloring only when it reaches a complete feasible one, so there is no
+// partial incumbent: on cancellation the result is infeasible with
+// Truncated set.
+func (s *Solver) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
+	res, _ := s.SolveStatsCtx(ctx, g)
+	return res
+}
+
 // SolveStats solves g and additionally reports search statistics.
 func (s *Solver) SolveStats(g *pbqp.Graph) (solve.Result, Stats) {
+	return s.SolveStatsCtx(context.Background(), g)
+}
+
+// SolveStatsCtx is SolveStats under a context (see SolveCtx).
+func (s *Solver) SolveStatsCtx(ctx context.Context, g *pbqp.Graph) (solve.Result, Stats) {
 	cfg := s.Cfg
 	if cfg.K <= 0 {
 		cfg.K = 50
@@ -107,7 +124,7 @@ func (s *Solver) SolveStats(g *pbqp.Graph) (solve.Result, Stats) {
 	// the parent chain must stay alive; one-way runs let Advance free it.
 	mcfg.RetainParents = cfg.Backtrack
 	tree := mcts.New(s.Net, g.M(), mcfg)
-	run := &runner{cfg: cfg, st: st, tree: tree}
+	run := &runner{ctx: ctx, cfg: cfg, st: st, tree: tree}
 
 	var ok bool
 	if cfg.Backtrack {
@@ -116,7 +133,7 @@ func (s *Solver) SolveStats(g *pbqp.Graph) (solve.Result, Stats) {
 		ok = run.oneWay()
 	}
 	run.stats.Nodes = tree.Nodes()
-	res := solve.Result{Cost: cost.Inf, States: tree.Nodes()}
+	res := solve.Result{Cost: cost.Inf, Truncated: run.truncated, States: tree.Nodes()}
 	if ok {
 		res.Feasible = true
 		res.Cost = st.Acc()
@@ -126,14 +143,27 @@ func (s *Solver) SolveStats(g *pbqp.Graph) (solve.Result, Stats) {
 }
 
 type runner struct {
-	cfg   Config
-	st    *game.State
-	tree  *mcts.Tree
-	stats Stats
+	ctx       context.Context
+	cfg       Config
+	st        *game.State
+	tree      *mcts.Tree
+	stats     Stats
+	truncated bool
 }
 
 func (r *runner) overBudget() bool {
 	return r.cfg.MaxNodes > 0 && r.tree.Nodes() >= r.cfg.MaxNodes
+}
+
+// cancelled polls the context and latches the truncation flag.
+func (r *runner) cancelled() bool {
+	if r.truncated {
+		return true
+	}
+	if r.ctx.Err() != nil {
+		r.truncated = true
+	}
+	return r.truncated
 }
 
 // oneWay is the inference run without backtracking: a dead end is a
@@ -144,10 +174,13 @@ func (r *runner) oneWay() bool {
 			r.stats.DeadEnds++
 			return false
 		}
-		if r.overBudget() {
+		if r.overBudget() || r.cancelled() {
 			return false
 		}
-		r.tree.Run(r.st, r.cfg.K)
+		r.tree.RunCtx(r.ctx, r.st, r.cfg.K)
+		if r.cancelled() {
+			return false
+		}
 		a := Argmax(r.tree.Policy())
 		if a < 0 {
 			return false
@@ -169,11 +202,14 @@ func (r *runner) backtrack() bool {
 	}
 	first := true
 	for {
-		if r.overBudget() {
+		if r.overBudget() || r.cancelled() {
 			return false
 		}
 		if first || r.cfg.ReinvokeMCTS {
-			r.tree.Run(r.st, r.cfg.K)
+			r.tree.RunCtx(r.ctx, r.st, r.cfg.K)
+			if r.cancelled() {
+				return false
+			}
 		}
 		first = false
 		if !r.tree.RootHasMove() {

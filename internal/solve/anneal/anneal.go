@@ -10,6 +10,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -69,26 +70,42 @@ func (s Solver) energy(g *pbqp.Graph, sel pbqp.Selection) (float64, int) {
 // Solve implements solve.Solver. It runs Restarts independent
 // annealing passes and keeps the cheapest result.
 func (s Solver) Solve(g *pbqp.Graph) solve.Result {
+	return s.SolveCtx(context.Background(), g)
+}
+
+// SolveCtx implements solve.ContextSolver. Annealing is inherently
+// anytime: on cancellation the lowest-energy assignment seen so far in
+// the interrupted run still competes with completed restarts, so the
+// result carries the best feasible selection found overall, marked
+// Truncated.
+func (s Solver) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
 	if s.Restarts == 0 {
 		s.Restarts = 4
 	}
 	best := solve.Result{Cost: cost.Inf}
 	var totalStates int64
+	truncated := false
 	for r := 0; r < s.Restarts; r++ {
+		if ctx.Err() != nil {
+			truncated = true
+			break
+		}
 		// the first run starts from the greedy assignment, later
 		// restarts from random ones (diversification)
-		res := s.solveOnce(g, s.Seed+int64(r)*7919, r > 0)
+		res := s.solveOnce(ctx, g, s.Seed+int64(r)*7919, r > 0)
 		totalStates += res.States
+		truncated = truncated || res.Truncated
 		if !best.Feasible || (res.Feasible && res.Cost.Less(best.Cost)) {
 			best = res
 		}
 	}
 	best.States = totalStates
+	best.Truncated = truncated
 	return best
 }
 
 // solveOnce is one annealing run.
-func (s Solver) solveOnce(g *pbqp.Graph, seed int64, randomInit bool) solve.Result {
+func (s Solver) solveOnce(ctx context.Context, g *pbqp.Graph, seed int64, randomInit bool) solve.Result {
 	vs := g.Vertices()
 	if len(vs) == 0 {
 		return solve.Result{Selection: pbqp.Selection{}, Feasible: true}
@@ -138,8 +155,13 @@ func (s Solver) solveOnce(g *pbqp.Graph, seed int64, randomInit bool) solve.Resu
 
 	cooling := math.Pow(s.T1/s.T0, 1/float64(s.Steps))
 	temp := s.T0
+	truncated := false
 	for step := 0; step < s.Steps; step++ {
 		states++
+		if states%solve.CheckInterval == 0 && ctx.Err() != nil {
+			truncated = true
+			break
+		}
 		u := vs[rng.Intn(len(vs))]
 		old := sel[u]
 		next := rng.Intn(m)
@@ -163,6 +185,7 @@ func (s Solver) solveOnce(g *pbqp.Graph, seed int64, randomInit bool) solve.Resu
 		Selection: best,
 		Cost:      total,
 		Feasible:  !total.IsInf(),
+		Truncated: truncated,
 		States:    states,
 	}
 }

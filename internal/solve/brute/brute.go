@@ -6,6 +6,8 @@
 package brute
 
 import (
+	"context"
+
 	"pbqprl/internal/cost"
 	"pbqprl/internal/pbqp"
 	"pbqprl/internal/solve"
@@ -26,8 +28,17 @@ func (Solver) Name() string { return "brute" }
 // negative costs (coalescing hints), bound pruning is disabled — a
 // partial sum can still decrease — and only infinite branches are cut.
 func (s Solver) Solve(g *pbqp.Graph) solve.Result {
+	return s.SolveCtx(context.Background(), g)
+}
+
+// SolveCtx implements solve.ContextSolver. The context is polled every
+// solve.CheckInterval explored states; on cancellation the search stops
+// and the best (incumbent) selection found so far is returned with
+// Truncated set.
+func (s Solver) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
 	vs := g.Vertices()
 	st := &search{
+		ctx:      ctx,
 		g:        g,
 		vs:       vs,
 		sel:      make([]int, len(vs)),
@@ -35,8 +46,16 @@ func (s Solver) Solve(g *pbqp.Graph) solve.Result {
 		maxState: s.MaxStates,
 		prune:    !hasNegativeCosts(g),
 	}
-	st.run(0, 0)
-	res := solve.Result{Cost: st.best, Feasible: !st.best.IsInf(), States: st.states}
+	st.stopped = ctx.Err() != nil
+	if !st.stopped {
+		st.run(0, 0)
+	}
+	res := solve.Result{
+		Cost:      st.best,
+		Feasible:  !st.best.IsInf(),
+		Truncated: st.stopped,
+		States:    st.states,
+	}
 	if res.Feasible {
 		res.Selection = make(pbqp.Selection, g.NumVertices())
 		for i, u := range vs {
@@ -47,6 +66,7 @@ func (s Solver) Solve(g *pbqp.Graph) solve.Result {
 }
 
 type search struct {
+	ctx      context.Context
 	g        *pbqp.Graph
 	vs       []int
 	sel      []int // color of vs[i] for i < depth
@@ -55,6 +75,7 @@ type search struct {
 	states   int64
 	maxState int64
 	prune    bool
+	stopped  bool // ctx fired; unwind keeping the incumbent
 }
 
 // hasNegativeCosts reports whether any vertex or edge cost is negative.
@@ -85,7 +106,7 @@ func (st *search) worse(partial cost.Cost) bool {
 }
 
 func (st *search) run(depth int, acc cost.Cost) {
-	if st.maxState > 0 && st.states >= st.maxState {
+	if st.stopped || (st.maxState > 0 && st.states >= st.maxState) {
 		return
 	}
 	if depth == len(st.vs) {
@@ -98,10 +119,14 @@ func (st *search) run(depth int, acc cost.Cost) {
 	u := st.vs[depth]
 	vec := st.g.VertexCost(u)
 	for c := 0; c < st.g.M(); c++ {
-		if st.maxState > 0 && st.states >= st.maxState {
+		if st.stopped || (st.maxState > 0 && st.states >= st.maxState) {
 			return
 		}
 		st.states++
+		if st.states%solve.CheckInterval == 0 && st.ctx.Err() != nil {
+			st.stopped = true
+			return
+		}
 		partial := acc.Add(vec[c])
 		if st.worse(partial) {
 			continue

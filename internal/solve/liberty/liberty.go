@@ -22,6 +22,7 @@
 package liberty
 
 import (
+	"context"
 	"sort"
 
 	"pbqprl/internal/cost"
@@ -51,6 +52,13 @@ func (Solver) Name() string { return "liberty" }
 // found (ATE problems only need any zero-cost solution); the easy-vertex
 // remainder is approximated, so the cost is not guaranteed minimal.
 func (s Solver) Solve(g *pbqp.Graph) solve.Result {
+	return s.SolveCtx(context.Background(), g)
+}
+
+// SolveCtx implements solve.ContextSolver. The enumeration stops at the
+// first feasible solution, so there is no incumbent to salvage: on
+// cancellation the result is infeasible with Truncated set.
+func (s Solver) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
 	threshold := s.Threshold
 	if threshold == 0 {
 		threshold = DefaultThreshold
@@ -73,13 +81,19 @@ func (s Solver) Solve(g *pbqp.Graph) solve.Result {
 		}
 	}
 	e := &enum{
+		ctx:      ctx,
 		g:        g.Permute(vs),
 		numHard:  numHard,
 		sel:      make([]int, len(vs)),
 		maxState: s.MaxStates,
 	}
-	ok, total := e.run(0, 0)
-	res := solve.Result{Cost: cost.Inf, States: e.states}
+	e.stopped = ctx.Err() != nil
+	var ok bool
+	var total cost.Cost
+	if !e.stopped {
+		ok, total = e.run(0, 0)
+	}
+	res := solve.Result{Cost: cost.Inf, Truncated: e.stopped, States: e.states}
 	if ok {
 		res.Feasible = true
 		res.Cost = total
@@ -92,11 +106,13 @@ func (s Solver) Solve(g *pbqp.Graph) solve.Result {
 }
 
 type enum struct {
+	ctx      context.Context
 	g        *pbqp.Graph // renumbered: hard prefix [0, numHard), easy suffix
 	numHard  int
 	sel      []int
 	states   int64
 	maxState int64
+	stopped  bool // ctx fired; unwind without further enumeration
 }
 
 // run enumerates colors for vertex depth in the fixed order. Vertex
@@ -119,7 +135,7 @@ func (e *enum) run(depth int, acc cost.Cost) (bool, cost.Cost) {
 		}
 		// fall through: keep enumerating chronologically
 	}
-	if e.maxState > 0 && e.states >= e.maxState {
+	if e.stopped || (e.maxState > 0 && e.states >= e.maxState) {
 		return false, cost.Inf
 	}
 	vec := e.g.VertexCost(depth).Clone()
@@ -129,7 +145,11 @@ func (e *enum) run(depth int, acc cost.Cost) (bool, cost.Cost) {
 			continue
 		}
 		e.states++
-		if e.maxState > 0 && e.states > e.maxState {
+		if e.stopped || (e.maxState > 0 && e.states > e.maxState) {
+			break
+		}
+		if e.states%solve.CheckInterval == 0 && e.ctx.Err() != nil {
+			e.stopped = true
 			break
 		}
 		saved := propagate(e.g, depth, c, later)
@@ -169,8 +189,13 @@ func (e *enum) solveEasyRemainder(from int, acc cost.Cost) (bool, cost.Cost) {
 			sub.SetEdgeCost(edge.U-from, edge.V-from, edge.M)
 		}
 	}
-	res := (scholz.Solver{}).Solve(sub)
+	res := (scholz.Solver{}).SolveCtx(e.ctx, sub)
 	e.states += res.States
+	if res.Truncated {
+		// Deadline hit inside the approximation: a feasible coloring is
+		// still a valid answer, but either way stop enumerating.
+		e.stopped = true
+	}
 	if !res.Feasible {
 		return false, cost.Inf
 	}

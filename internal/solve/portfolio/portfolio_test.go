@@ -1,0 +1,206 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pbqprl/internal/cost"
+	"pbqprl/internal/mcts"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/rl"
+	"pbqprl/internal/solve"
+	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/scholz"
+)
+
+// stub returns a fixed result, ignoring the graph.
+type stub struct {
+	name string
+	res  solve.Result
+}
+
+func (s stub) Name() string                   { return s.name }
+func (s stub) Solve(*pbqp.Graph) solve.Result { return s.res }
+
+// panicky always panics, simulating a buggy stage.
+type panicky struct{}
+
+func (panicky) Name() string                   { return "panicky" }
+func (panicky) Solve(*pbqp.Graph) solve.Result { panic("injected failure") }
+
+// spinner is a ContextSolver that busy-loops until its context fires.
+type spinner struct{}
+
+func (spinner) Name() string { return "spinner" }
+func (spinner) Solve(g *pbqp.Graph) solve.Result {
+	return spinner{}.SolveCtx(context.Background(), g)
+}
+func (spinner) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
+	for ctx.Err() == nil {
+		time.Sleep(50 * time.Microsecond)
+	}
+	return solve.Result{Cost: cost.Inf, Truncated: true}
+}
+
+// chainGraph is a tiny feasible graph: two vertices that must disagree.
+func chainGraph(t *testing.T) *pbqp.Graph {
+	t.Helper()
+	g := pbqp.New(2, 2)
+	g.SetVertexCost(0, cost.Vector{0, 1})
+	g.SetVertexCost(1, cost.Vector{0, 1})
+	g.SetEdgeCost(0, 1, cost.NewMatrixFrom([][]cost.Cost{
+		{cost.Inf, 0},
+		{0, cost.Inf},
+	}))
+	return g
+}
+
+func feasible(c cost.Cost, sel ...int) solve.Result {
+	return solve.Result{Selection: sel, Cost: c, Feasible: true}
+}
+
+func TestPanicRecoveredAndLogged(t *testing.T) {
+	var logged strings.Builder
+	p := &Solver{
+		Stages: []Stage{
+			{Solver: panicky{}},
+			{Solver: stub{name: "ok", res: feasible(7, 0, 1)}},
+		},
+		StopOnFeasible: true,
+		Logf:           func(f string, args ...any) { fmt.Fprintf(&logged, f, args...) },
+	}
+	g := chainGraph(t)
+	res, stats := p.SolveStats(context.Background(), g)
+	if !res.Feasible || res.Cost != 7 {
+		t.Fatalf("want the fallback stage's result, got %+v", res)
+	}
+	if !stats.Stages[0].Panicked || stats.Stages[0].PanicValue != "injected failure" {
+		t.Fatalf("stage 0 outcome = %+v, want recovered panic", stats.Stages[0])
+	}
+	if stats.Winner != 1 {
+		t.Fatalf("winner = %d, want 1", stats.Winner)
+	}
+	if !strings.Contains(logged.String(), "injected failure") ||
+		!strings.Contains(logged.String(), "pbqp 2 2") {
+		t.Fatalf("panic log is missing the message or the graph dump:\n%s", logged.String())
+	}
+}
+
+func TestBudgetTruncatesEveryStage(t *testing.T) {
+	p := New(60*time.Millisecond, spinner{}, spinner{})
+	start := time.Now()
+	res, stats := p.SolveStats(context.Background(), chainGraph(t))
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("portfolio ran %v, far past its 60ms budget", elapsed)
+	}
+	if res.Feasible || !res.Truncated {
+		t.Fatalf("want infeasible truncated result, got %+v", res)
+	}
+	for i, out := range stats.Stages {
+		if !out.Result.Truncated && !out.Skipped {
+			t.Fatalf("stage %d neither truncated nor skipped: %+v", i, out)
+		}
+	}
+}
+
+func TestStopOnFeasibleSkipsRest(t *testing.T) {
+	p := &Solver{
+		Stages: []Stage{
+			{Solver: stub{name: "first", res: feasible(3, 1, 0)}},
+			{Solver: panicky{}}, // must never run
+		},
+		StopOnFeasible: true,
+	}
+	res, stats := p.SolveStats(context.Background(), chainGraph(t))
+	if !res.Feasible || res.Cost != 3 || res.Truncated {
+		t.Fatalf("got %+v", res)
+	}
+	if !stats.Stages[1].Skipped || stats.Stages[1].Panicked {
+		t.Fatalf("stage 1 should have been skipped: %+v", stats.Stages[1])
+	}
+}
+
+func TestKeepsCheapestAcrossStages(t *testing.T) {
+	p := &Solver{
+		Stages: []Stage{
+			{Solver: stub{name: "pricey", res: feasible(10, 0, 1)}},
+			{Solver: stub{name: "cheap", res: feasible(2, 1, 0)}},
+			{Solver: stub{name: "mid", res: feasible(5, 0, 1)}},
+		},
+		StopOnFeasible: false,
+	}
+	res, stats := p.SolveStats(context.Background(), chainGraph(t))
+	if !res.Feasible || res.Cost != 2 || stats.Winner != 1 {
+		t.Fatalf("res=%+v winner=%d, want cost 2 from stage 1", res, stats.Winner)
+	}
+}
+
+func TestExpiredContextSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(time.Second, stub{name: "never", res: feasible(1, 0, 1)})
+	res, stats := p.SolveStats(ctx, chainGraph(t))
+	if res.Feasible || !res.Truncated {
+		t.Fatalf("got %+v, want skipped truncated result", res)
+	}
+	if !stats.Stages[0].Skipped {
+		t.Fatalf("stage 0 should be skipped: %+v", stats.Stages[0])
+	}
+}
+
+// TestRealChain runs the paper's fallback order — Deep-RL (uniform
+// prior), liberty enumeration, Scholz — on a small feasible problem.
+func TestRealChain(t *testing.T) {
+	g := chainGraph(t)
+	deepRL := &rl.Solver{Net: mcts.Uniform{}, Cfg: rl.Config{
+		K: 8, Backtrack: true, ReinvokeMCTS: true,
+	}}
+	p := New(2*time.Second, deepRL, liberty.Solver{}, scholz.Solver{})
+	res, stats := p.SolveStats(context.Background(), g)
+	if !res.Feasible || res.Truncated {
+		t.Fatalf("res=%+v stats=%+v", res, stats)
+	}
+	if got := g.TotalCost(res.Selection); got != res.Cost {
+		t.Fatalf("reported cost %v, recomputed %v", res.Cost, got)
+	}
+	if p.Name() != "portfolio(deep-rl+backtrack→liberty→scholz)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+// TestMutatingStageCannotPoisonLaterStages gives the first stage a
+// solver that violates the no-mutate contract before panicking; the
+// second stage must still see the original graph.
+func TestMutatingStageCannotPoisonLaterStages(t *testing.T) {
+	p := &Solver{
+		Stages: []Stage{
+			{Solver: vandal{}},
+			{Solver: scholz.Solver{}},
+		},
+		StopOnFeasible: true,
+		Logf:           func(string, ...any) {},
+	}
+	g := chainGraph(t)
+	res, _ := p.SolveStats(context.Background(), g)
+	if !res.Feasible {
+		t.Fatalf("second stage failed after first-stage vandalism: %+v", res)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("caller's graph corrupted: %v", err)
+	}
+	if g.AliveCount() != 2 {
+		t.Fatalf("caller's graph mutated: %d alive vertices", g.AliveCount())
+	}
+}
+
+// vandal mutates its input graph and then panics.
+type vandal struct{}
+
+func (vandal) Name() string { return "vandal" }
+func (vandal) Solve(g *pbqp.Graph) solve.Result {
+	g.RemoveVertex(0)
+	panic("vandalized")
+}

@@ -22,6 +22,8 @@
 package scholz
 
 import (
+	"context"
+
 	"pbqprl/internal/cost"
 	"pbqprl/internal/pbqp"
 	"pbqprl/internal/solve"
@@ -54,14 +56,33 @@ type record struct {
 }
 
 // Solve implements solve.Solver.
-func (Solver) Solve(g *pbqp.Graph) solve.Result {
+func (s Solver) Solve(g *pbqp.Graph) solve.Result {
+	return s.SolveCtx(context.Background(), g)
+}
+
+// SolveCtx implements solve.ContextSolver. The reduction is polynomial
+// and normally finishes well inside any realistic deadline; when the
+// context fires mid-reduction the solver degrades gracefully instead of
+// stopping cold: every remaining vertex is colored immediately with the
+// cheap RN local-minimum rule (no more exact R1/R2 folds), so a
+// complete — possibly worse — selection is still produced and marked
+// Truncated.
+func (Solver) SolveCtx(ctx context.Context, g *pbqp.Graph) solve.Result {
 	w := g.Clone()
 	var stack []record
 	var states int64
+	truncated := ctx.Err() != nil
 
 	for w.AliveCount() > 0 {
 		states++
+		if !truncated && states%solve.CheckInterval == 0 && ctx.Err() != nil {
+			truncated = true
+		}
 		u := minDegreeVertex(w)
+		if truncated {
+			stack = append(stack, reduceRN(w, u))
+			continue
+		}
 		switch w.Degree(u) {
 		case 0:
 			stack = append(stack, record{kind: r0, u: u, vec: w.VertexCost(u).Clone()})
@@ -99,6 +120,7 @@ func (Solver) Solve(g *pbqp.Graph) solve.Result {
 		Selection: sel,
 		Cost:      total,
 		Feasible:  feasible && !total.IsInf(),
+		Truncated: truncated,
 		States:    states,
 	}
 }

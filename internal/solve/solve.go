@@ -2,10 +2,13 @@
 // statistics they report. Concrete solvers live in the subpackages
 // brute (exact branch and bound), scholz (the original Scholz–Eckstein
 // reduction solver) and liberty (the liberty-based enumeration solver of
-// Kim et al., TACO 2020); the Deep-RL solver lives in internal/rl.
+// Kim et al., TACO 2020); the Deep-RL solver lives in internal/rl and
+// the deadline-aware fallback chain in the portfolio subpackage.
 package solve
 
 import (
+	"context"
+
 	"pbqprl/internal/cost"
 	"pbqprl/internal/pbqp"
 )
@@ -20,6 +23,13 @@ type Result struct {
 	Cost cost.Cost
 	// Feasible reports whether a finite-cost assignment was found.
 	Feasible bool
+	// Truncated reports that the solve was cut short by context
+	// cancellation or deadline expiry before the solver finished its
+	// search. A truncated result carries the best feasible selection
+	// found so far when one exists (Feasible is then still true); it
+	// is an anytime answer, not a completed one. Budget truncation via
+	// solver-specific caps (MaxStates, MaxNodes) does not set it.
+	Truncated bool
 	// States counts the search states the solver explored: one per
 	// attempted (vertex, color) assignment for enumeration solvers,
 	// one per reduction step for reduction solvers. It is the paper's
@@ -34,4 +44,59 @@ type Solver interface {
 	// Solve finds a (locally or globally) minimal coloring of g.
 	// Implementations must not retain or mutate g.
 	Solve(g *pbqp.Graph) Result
+}
+
+// ContextSolver is a Solver that honors context cancellation: SolveCtx
+// periodically polls ctx and, once it is done, stops searching and
+// returns its best feasible selection found so far with
+// Result.Truncated set (Feasible=false when none was found yet).
+// Implementations never hang past a few polling intervals and never
+// panic on cancellation.
+type ContextSolver interface {
+	Solver
+	// SolveCtx is Solve under a context. A canceled ctx truncates the
+	// search; it never produces an error or a panic.
+	SolveCtx(ctx context.Context, g *pbqp.Graph) Result
+}
+
+// CheckInterval is how many search states context-aware solvers explore
+// between ctx polls. Polling a context is cheap but not free; at a few
+// hundred states per poll the overhead is unmeasurable while a 50 ms
+// deadline still lands within a small fraction of itself.
+const CheckInterval = 256
+
+// SolveCtx solves g with s under ctx: solvers implementing
+// ContextSolver are cancelled cooperatively, legacy solvers run through
+// the WithContext adapter (checked before starting, not interruptible
+// mid-run).
+func SolveCtx(ctx context.Context, s Solver, g *pbqp.Graph) Result {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.SolveCtx(ctx, g)
+	}
+	return WithContext(s).SolveCtx(ctx, g)
+}
+
+// WithContext adapts a legacy Solver to the ContextSolver interface.
+// The adapter is best-effort: a context that is already done yields an
+// immediate truncated, infeasible result, but once the wrapped solver
+// starts it runs to completion — true mid-solve cancellation requires
+// the solver to implement ContextSolver itself.
+func WithContext(s Solver) ContextSolver {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs
+	}
+	return ctxAdapter{s}
+}
+
+type ctxAdapter struct {
+	Solver
+}
+
+// SolveCtx implements ContextSolver.
+func (a ctxAdapter) SolveCtx(ctx context.Context, g *pbqp.Graph) Result {
+	if ctx.Err() != nil {
+		return Result{Cost: cost.Inf, Truncated: true}
+	}
+	res := a.Solver.Solve(g)
+	return res
 }

@@ -19,8 +19,10 @@
 package pbqprl
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"pbqprl/internal/cost"
 	"pbqprl/internal/game"
@@ -35,6 +37,7 @@ import (
 	"pbqprl/internal/solve/anneal"
 	"pbqprl/internal/solve/brute"
 	"pbqprl/internal/solve/liberty"
+	"pbqprl/internal/solve/portfolio"
 	"pbqprl/internal/solve/scholz"
 )
 
@@ -65,11 +68,57 @@ func ReadGraph(r io.Reader) (*Graph, error) { return pbqp.Read(r) }
 func WriteGraph(w io.Writer, g *Graph) error { return pbqp.Write(w, g) }
 
 // Solver is the common solver interface; Result carries the selection,
-// cost, feasibility, and the explored-state count.
+// cost, feasibility, the Truncated (deadline-cut) flag, and the
+// explored-state count. ContextSolver adds cooperative cancellation:
+// all solvers in this package implement it.
 type (
-	Solver = solve.Solver
-	Result = solve.Result
+	Solver        = solve.Solver
+	ContextSolver = solve.ContextSolver
+	Result        = solve.Result
 )
+
+// SolveCtx solves g with s under ctx. Solvers implementing
+// ContextSolver stop at cancellation and return their best feasible
+// selection found so far with Result.Truncated set; legacy solvers are
+// only checked before they start.
+func SolveCtx(ctx context.Context, s Solver, g *Graph) Result {
+	return solve.SolveCtx(ctx, s, g)
+}
+
+// SolveWithTimeout solves g with s under a wall-clock deadline; on
+// expiry the result is the solver's best-so-far, marked Truncated.
+func SolveWithTimeout(s Solver, g *Graph, timeout time.Duration) Result {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return solve.SolveCtx(ctx, s, g)
+}
+
+// WithContext adapts a legacy Solver to ContextSolver (best-effort: the
+// context is only checked before the solve starts).
+func WithContext(s Solver) ContextSolver { return solve.WithContext(s) }
+
+// Solver portfolio: a fallback chain under one time budget with panic
+// isolation per stage (see internal/solve/portfolio).
+type (
+	// PortfolioSolver runs a fallback chain of solvers, splitting a
+	// total time budget across stages, recovering stage panics, and
+	// keeping the cheapest feasible result.
+	PortfolioSolver = portfolio.Solver
+	// PortfolioStage is one solver in the chain with its budget share.
+	PortfolioStage = portfolio.Stage
+	// PortfolioOutcome reports how one stage went.
+	PortfolioOutcome = portfolio.Outcome
+	// PortfolioStats reports a full portfolio run.
+	PortfolioStats = portfolio.Stats
+)
+
+// Portfolio builds a deadline-aware fallback chain (e.g. Deep-RL →
+// Liberty → Scholz) with an even budget split and stop-on-feasible
+// semantics. budget 0 means no time limit of its own — pass a context
+// via SolveCtx to bound it externally.
+func Portfolio(budget time.Duration, chain ...Solver) *PortfolioSolver {
+	return portfolio.New(budget, chain...)
+}
 
 // Brute returns the exact branch-and-bound solver (exponential; use as
 // an oracle or on small problems). maxStates caps the search, 0 = none.
