@@ -1,0 +1,148 @@
+// Command pbqp-vet runs the project's domain-invariant static
+// analyzers (internal/analysis) over the module:
+//
+//	determinism  no time.Now / global math/rand / map-order leaks in encode paths
+//	costarith    no raw arithmetic or comparison on cost.Cost outside internal/cost
+//	ctxpoll      every SolveCtx polls its context from each unbounded loop
+//	floatcmp     no exact == / != on floats outside internal/cost
+//	panicfree    no panic in library code outside Must* and init
+//
+// Usage:
+//
+//	pbqp-vet [-json] [-only analyzer,analyzer] [patterns...]
+//
+// Patterns are package directories; a trailing "/..." walks the tree
+// (skipping testdata and vendor). With no pattern it vets "./...".
+// Findings are suppressed line-by-line with
+// "//pbqpvet:ignore <analyzer> <reason>" on or directly above the line.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pbqprl/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("pbqp-vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "pbqp-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+		return 2
+	}
+	var findings []analysis.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+			return 2
+		}
+		findings = append(findings, diags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(out, "pbqp-vet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves package patterns to package directories.
+// "dir/..." walks dir with the shared testdata-excluding walker; a bare
+// pattern names a single package directory.
+func expandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, p := range patterns {
+		if root, ok := strings.CutSuffix(p, "/..."); ok {
+			if root == "" {
+				root = "."
+			}
+			sub, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		if !seen[p] {
+			seen[p] = true
+			dirs = append(dirs, p)
+		}
+	}
+	return dirs, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pbqprl/internal/analysis"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+func TestRunFindsFixtureDiagnostics(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-only", "floatcmp", fixtureRoot + "/floatcmp"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "== on floating-point operands") {
+		t.Errorf("output missing expected finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("output missing findings trailer:\n%s", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-json", "-only", "panicfree", fixtureRoot + "/panicfree"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output decoded to zero findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "panicfree" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"../../internal/cost"}, &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0\noutput:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-json", "../../internal/cost"}, &out); code != 0 {
+		t.Fatalf("json exit code = %d, want 0", code)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("clean -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean -json output decoded to %d findings", len(diags))
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"costarith", "ctxpoll", "determinism", "floatcmp", "panicfree"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -83,7 +83,7 @@ func main() {
 		fmt.Printf("v%-2d->r%-3d", v, r)
 	}
 	fmt.Println()
-	if c := g.TotalCost(res.Selection); c != 0 {
+	if c := g.TotalCost(res.Selection); !c.IsZero() {
 		fmt.Printf("assignment violates a constraint (cost %s)\n", c)
 		os.Exit(1)
 	}

@@ -1,0 +1,120 @@
+// Package analysis is a small stdlib-only static-analysis framework for
+// the project's domain invariants: determinism of encode paths,
+// saturating ℝ∞ cost arithmetic, cancellation discipline in solvers,
+// float comparison hygiene, and panic-free library code.
+//
+// It deliberately avoids golang.org/x/tools: packages are parsed with
+// go/parser and type-checked with go/types, resolving module-internal
+// imports through a source loader (Loader) and standard-library imports
+// through go/importer's source importer. Analyzers receive a fully
+// type-checked Pass and report position-accurate Diagnostics; findings
+// can be suppressed line-by-line with
+//
+//	//pbqpvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line directly above it. The
+// cmd/pbqp-vet driver runs every analyzer over the module and exits
+// nonzero on unsuppressed findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: an analyzer name, a resolved source
+// position, and a human-readable message.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form
+// with the analyzer name in brackets.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in
+	// //pbqpvet:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the
+	// analyzer protects.
+	Doc string
+	// Run inspects the package via pass and reports findings with
+	// pass.Reportf. A returned error aborts the whole vet run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Run executes the analyzers over the loaded package, applies the
+// package's //pbqpvet:ignore suppressions, and returns the surviving
+// diagnostics sorted by position. Malformed suppression directives are
+// themselves reported under the pseudo-analyzer name "pbqpvet".
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup, supDiags := collectSuppressions(pkg.Fset, pkg.Files)
+	diags := supDiags
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	diags = sup.filter(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags direct == and != on floating-point operands.
+// Accumulated rounding error makes exact float equality a latent bug in
+// numeric code (loss comparison, policy normalization checks); the
+// deliberate exact comparisons live in internal/cost, which is exempt,
+// and the x != x NaN idiom is recognized. cost.Cost operands are left
+// to the costarith analyzer so each finding is reported once.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flags == and != on float32/float64 operands outside internal/cost; " +
+		"compare with a tolerance or math.Abs, or suppress deliberate exact checks",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if inCostPackage(pass) {
+		return nil
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil || isCost(t) {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(cmp.X) && !isFloat(cmp.Y) {
+				return true
+			}
+			// x != x (or x == x) is the standard NaN probe, not an
+			// accidental exact comparison.
+			if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos, "%s on floating-point operands is exact-bit comparison; use a tolerance (or suppress if exactness is the point)", cmp.Op)
+			return true
+		})
+	}
+	return nil
+}

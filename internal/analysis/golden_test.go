@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one Loader across all tests in this package so
+// the standard library is type-checked from source only once.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loader, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// TestGolden checks every fixture package against its `// want "substr"`
+// annotations: each annotated line must produce exactly the findings it
+// declares (substring match, order-insensitive), and unannotated lines
+// must stay silent.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		fixture   string
+		analyzers []*Analyzer
+	}{
+		{"determinism", []*Analyzer{Determinism}},
+		{"costarith", []*Analyzer{CostArith}},
+		{"ctxpoll", []*Analyzer{CtxPoll}},
+		{"floatcmp", []*Analyzer{FloatCmp}},
+		{"panicfree", []*Analyzer{PanicFree}},
+		{"suppress", []*Analyzer{FloatCmp, PanicFree}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.fixture)
+			pkg, err := testLoader(t).LoadDir(dir)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			diags, err := Run(pkg, tc.analyzers)
+			if err != nil {
+				t.Fatalf("run analyzers: %v", err)
+			}
+			wants := parseWants(t, dir)
+
+			got := map[string][]string{} // file:line -> messages
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)
+				got[key] = append(got[key], d.Message)
+			}
+			for key, wantMsgs := range wants {
+				msgs := got[key]
+				if len(msgs) != len(wantMsgs) {
+					t.Errorf("%s: got %d finding(s) %q, want %d matching %q", key, len(msgs), msgs, len(wantMsgs), wantMsgs)
+					continue
+				}
+				used := make([]bool, len(msgs))
+			wantLoop:
+				for _, w := range wantMsgs {
+					for i, m := range msgs {
+						if !used[i] && strings.Contains(m, w) {
+							used[i] = true
+							continue wantLoop
+						}
+					}
+					t.Errorf("%s: no finding contains %q; got %q", key, w, msgs)
+				}
+			}
+			for key, msgs := range got {
+				if _, ok := wants[key]; !ok {
+					t.Errorf("%s: unexpected finding(s) %q", key, msgs)
+				}
+			}
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want ((?:"[^"]*"\s*)+)`)
+var quotedRE = regexp.MustCompile(`"([^"]*)"`)
+
+// parseWants extracts `// want "substr" ["substr" ...]` annotations
+// from every Go file in dir, keyed by "file.go:line".
+func parseWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	wants := map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				wants[key] = append(wants[key], q[1])
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want annotations", dir)
+	}
+	return wants
+}
+
+// TestCostArithSilentInsideCostPackage is the false-positive guard the
+// fixture cannot express: the raw extended-real arithmetic inside
+// internal/cost itself must not be flagged.
+func TestCostArithSilentInsideCostPackage(t *testing.T) {
+	pkg, err := testLoader(t).LoadDir("../cost")
+	if err != nil {
+		t.Fatalf("load internal/cost: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{CostArith, FloatCmp})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("costarith/floatcmp flagged internal/cost itself: %v", diags)
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree keeps panics out of library code paths: a panic that
+// escapes a solver or the trainer kills the whole process (or, in the
+// self-play worker pool, an entire training run), so libraries must
+// return errors. Panics are allowed in Must* constructors (whose
+// documented contract is to panic) and in init functions (config
+// validation at process start, before any work is at risk); package
+// main is exempt because a CLI's panic is its own problem. Everything
+// else needs a //pbqpvet:ignore with a justification — typically a
+// documented API-contract panic on caller error.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc: "flags panic calls in library packages outside Must* constructors " +
+		"and init-time validation; libraries return errors",
+	Run: runPanicFree,
+}
+
+func runPanicFree(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "Must") || (name == "init" && fd.Recv == nil) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					pass.Reportf(call.Pos(), "panic in library function %s; return an error or move the check into a Must* wrapper", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

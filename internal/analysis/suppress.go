@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//pbqpvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses findings of the named analyzers on the line it
+// occupies and on the following line, so it works both as a trailing
+// comment and as a standalone comment above the offending statement.
+// The reason is mandatory: a suppression without a justification is
+// itself reported.
+const ignorePrefix = "pbqpvet:ignore"
+
+// suppressions maps file name → line → analyzer names suppressed there.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions extracts every //pbqpvet:ignore directive from
+// the files, returning the suppression table and a diagnostic for each
+// malformed directive.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason := splitDirective(rest)
+				if len(names) == 0 || reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "pbqpvet",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed suppression: want //pbqpvet:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = map[string]bool{}
+						lines[ln] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// splitDirective parses "name1,name2 some reason text" into the
+// analyzer names and the reason.
+func splitDirective(rest string) ([]string, string) {
+	rest = strings.TrimSpace(rest)
+	name, reason, _ := strings.Cut(rest, " ")
+	var names []string
+	for _, n := range strings.Split(name, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason)
+}
+
+// filter drops diagnostics covered by a suppression directive.
+func (s suppressions) filter(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := s[d.File][d.Line]; set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

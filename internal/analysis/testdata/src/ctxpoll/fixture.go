@@ -1,0 +1,125 @@
+// Package ctxpoll is a golden fixture for the ctxpoll analyzer: every
+// SolveCtx implementation must reach a context poll from each unbounded
+// loop.
+package ctxpoll
+
+import "context"
+
+type result struct{ cost float64 }
+
+// deafSolver never looks at its context at all.
+type deafSolver struct{}
+
+func (deafSolver) SolveCtx(ctx context.Context, n int) result { // want "never checks its context"
+	r := result{}
+	for i := 0; i < n; i++ {
+		r.cost += float64(i)
+	}
+	return r
+}
+
+// spinSolver polls once up front but spins forever without re-polling.
+type spinSolver struct{ stop bool }
+
+func (s *spinSolver) SolveCtx(ctx context.Context, n int) result {
+	if ctx.Err() != nil {
+		return result{}
+	}
+	for !s.stop { // want "unbounded loop reachable from SolveCtx never polls"
+		s.step()
+	}
+	for { // want "unbounded loop reachable from SolveCtx never polls"
+		if s.step() {
+			return result{}
+		}
+	}
+}
+
+func (s *spinSolver) step() bool { return s.stop }
+
+// politeSolver polls directly inside its unbounded loop.
+type politeSolver struct{ states int }
+
+func (s *politeSolver) SolveCtx(ctx context.Context, n int) result {
+	for s.states < n {
+		s.states++
+		if s.states%256 == 0 && ctx.Err() != nil {
+			return result{}
+		}
+	}
+	return result{}
+}
+
+// helperSolver polls through a same-package helper, like the rl
+// runner's cancelled().
+type helperSolver struct{ ctx context.Context }
+
+func (s *helperSolver) SolveCtx(ctx context.Context, n int) result {
+	s.ctx = ctx
+	for {
+		if s.cancelled() {
+			return result{}
+		}
+	}
+}
+
+func (s *helperSolver) cancelled() bool { return s.ctx.Err() != nil }
+
+// delegatingSolver hands the context to a callee each iteration, like
+// liberty delegating subproblems to scholz.
+type delegatingSolver struct{ done bool }
+
+func (s *delegatingSolver) SolveCtx(ctx context.Context, n int) result {
+	for !s.done {
+		runSub(ctx, n)
+	}
+	return result{}
+}
+
+func runSub(ctx context.Context, n int) {}
+
+// recursiveHelper: an unbounded loop in a helper reachable from
+// SolveCtx is held to the same contract.
+type deepSolver struct{ pending []int }
+
+func (s *deepSolver) SolveCtx(ctx context.Context, n int) result {
+	if ctx.Err() != nil {
+		return result{}
+	}
+	s.drain()
+	return result{}
+}
+
+func (s *deepSolver) drain() {
+	for len(s.pending) > 0 { // want "unbounded loop reachable from SolveCtx never polls"
+		s.pending = s.pending[1:]
+	}
+}
+
+// boundedOnly: counting and range loops are bounded by data size and
+// exempt; no findings even without an in-loop poll.
+type boundedSolver struct{}
+
+func (boundedSolver) SolveCtx(ctx context.Context, n int) result {
+	if ctx.Err() != nil {
+		return result{}
+	}
+	r := result{}
+	for i := 0; i < n; i++ {
+		r.cost++
+	}
+	for range []int{1, 2, 3} {
+		r.cost++
+	}
+	return r
+}
+
+// notASolver: unbounded loops in functions not reachable from any
+// SolveCtx are out of scope.
+func notASolver(n int) {
+	for {
+		if n > 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package determinism is a golden fixture for the determinism
+// analyzer. Lines carrying a want-comment must produce a finding whose
+// message contains the quoted substring; all other lines must stay
+// silent.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now breaks deterministic replay"
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	_ = randv2.IntN(7)                 // want "global math/rand/v2.IntN"
+	return rand.Intn(10)               // want "global math/rand.Intn"
+}
+
+// seededRand is fine: an explicit source is serializable and resumable.
+func seededRand() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+// suppressedClock demonstrates a justified suppression.
+func suppressedClock() time.Time {
+	//pbqpvet:ignore determinism wall-clock is reporting only in this fixture
+	return time.Now()
+}
+
+// EncodeState is an encode path: map iteration order would leak into
+// the serialized bytes.
+func EncodeState(m map[int]string) []byte {
+	var out []byte
+	for k, v := range m { // want "map iteration in encode path EncodeState"
+		out = append(out, byte(k))
+		out = append(out, v...)
+	}
+	return out
+}
+
+// writeFrame is an encode path even through a closure.
+func writeFrame(m map[string]int) string {
+	var s string
+	emit := func() {
+		for k := range m { // want "map iteration in encode path writeFrame"
+			s += k
+		}
+	}
+	emit()
+	return s
+}
+
+// EncodeSorted is the fix: hoist key collection into a helper (whose
+// map range never reaches bytes directly) and iterate the sorted keys.
+func EncodeSorted(m map[int]string) []byte {
+	var out []byte
+	for _, k := range sortedKeys(m) {
+		out = append(out, byte(k), m[k][0])
+	}
+	return out
+}
+
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// tally is not an encode path: map iteration that never reaches
+// serialized bytes is unordered but harmless.
+func tally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func show() { fmt.Println("keep fmt imported") }

@@ -1,0 +1,37 @@
+// Package floatcmp is a golden fixture for the floatcmp analyzer:
+// exact == / != on floating-point operands.
+package floatcmp
+
+type meters float64
+
+func compares(x, y float64, f float32) bool {
+	if x == y { // want "== on floating-point operands"
+		return true
+	}
+	if x != 0 { // want "!= on floating-point operands"
+		return true
+	}
+	if f == 1.5 { // want "== on floating-point operands"
+		return true
+	}
+	var m meters
+	return m == 2 // want "== on floating-point operands"
+}
+
+// nanProbe is the one blessed exact comparison: x != x is true only
+// for NaN.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// ints are exact; integer comparison is silent.
+func ints(a, b int) bool { return a == b }
+
+// ordering comparisons are fine: they do not assume bit equality.
+func ordering(x, y float64) bool { return x < y || x >= y }
+
+// suppressed shows a justified exact sentinel check.
+func suppressed(unset float64) bool {
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned not computed
+	return unset == 0
+}

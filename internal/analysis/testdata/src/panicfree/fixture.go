@@ -1,0 +1,57 @@
+// Package panicfree is a golden fixture for the panicfree analyzer:
+// no panic in library code outside Must* constructors and init.
+package panicfree
+
+import "errors"
+
+type thing struct{ n int }
+
+func newThing(n int) (*thing, error) {
+	if n < 0 {
+		return nil, errors.New("negative")
+	}
+	return &thing{n: n}, nil
+}
+
+// MustThing is the blessed panicking constructor.
+func MustThing(n int) *thing {
+	t, err := newThing(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// init-time config validation may panic: the process has not started
+// real work yet.
+func init() {
+	if defaultSize < 0 {
+		panic("panicfree: bad default")
+	}
+}
+
+var defaultSize = 8
+
+func libraryFunc(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library function libraryFunc"
+	}
+	return n * 2
+}
+
+func (t *thing) method() {
+	defer func() { recover() }()
+	closure := func() {
+		panic("inside closure") // want "panic in library function method"
+	}
+	closure()
+}
+
+// suppressed shows a justified contract panic.
+func (t *thing) index(i int) int {
+	if i < 0 || i >= t.n {
+		//pbqpvet:ignore panicfree documented contract panic, mirrors slice bounds check
+		panic("out of range")
+	}
+	return i
+}

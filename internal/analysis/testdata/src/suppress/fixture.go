@@ -1,0 +1,33 @@
+// Package suppress is a golden fixture for the suppression machinery
+// itself: directive placement, multi-analyzer directives, and
+// directives that name the wrong analyzer. (Malformed directives are
+// covered by unit tests in the analysis package.)
+package suppress
+
+func trailing(x float64) bool {
+	return x == 1 //pbqpvet:ignore floatcmp trailing directives suppress their own line
+}
+
+func above(x float64) bool {
+	//pbqpvet:ignore floatcmp standalone directives suppress the next line
+	return x == 2
+}
+
+func multiName(x float64) bool {
+	if x != 3 { // want "!= on floating-point operands"
+		//pbqpvet:ignore floatcmp,panicfree one directive may silence several analyzers
+		panic(x == 3)
+	}
+	return false
+}
+
+func wrongName(x float64) bool {
+	//pbqpvet:ignore panicfree this names the wrong analyzer, so floatcmp still fires
+	return x == 4 // want "== on floating-point operands"
+}
+
+func tooFar(x float64) bool {
+	//pbqpvet:ignore floatcmp directives reach one line, not two
+
+	return x == 5 // want "== on floating-point operands"
+}

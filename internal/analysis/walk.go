@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// PackageDirs returns every directory under root containing at least
+// one non-test Go file, in lexical order. testdata, vendor, hidden and
+// underscore-prefixed directories are skipped. The walker is shared by
+// the cmd/pbqp-vet driver and the analysis tests so both agree on what
+// "the whole module" means — in particular that analyzer fixtures under
+// testdata are never vetted as production code.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPackageDirsSkipsNonPackageTrees(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a/a.go", "package a\n")
+	write("a/a_test.go", "package a\n") // test-only files don't make a package dir
+	write("b/only_test.go", "package b\n")
+	write("c/testdata/src/fix/fix.go", "package fix\n")
+	write("c/c.go", "package c\n")
+	write("vendor/v/v.go", "package v\n")
+	write(".hidden/h.go", "package h\n")
+	write("_skip/s.go", "package s\n")
+	write("d/notgo.txt", "hello\n")
+
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel []string
+	for _, d := range dirs {
+		r, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = append(rel, filepath.ToSlash(r))
+	}
+	want := []string{"a", "c"}
+	if strings.Join(rel, ",") != strings.Join(want, ",") {
+		t.Errorf("PackageDirs = %v, want %v", rel, want)
+	}
+}
+
+func TestLoaderRejectsDirOutsideModule(t *testing.T) {
+	l := testLoader(t)
+	if _, err := l.LoadDir(t.TempDir()); err == nil {
+		t.Error("LoadDir outside the module succeeded, want error")
+	}
+}
+
+func TestLoaderModulePath(t *testing.T) {
+	l := testLoader(t)
+	if l.ModulePath != "pbqprl" {
+		t.Errorf("ModulePath = %q, want %q", l.ModulePath, "pbqprl")
+	}
+}
+
+// TestRepoClean is the acceptance gate in test form: the five analyzers
+// must report nothing on the production tree (the same walk the driver
+// does for ./...). Everything deliberate is expected to carry a
+// pbqpvet:ignore with a reason.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module vet is slow; run without -short")
+	}
+	l := testLoader(t)
+	dirs, err := PackageDirs(l.ModuleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatalf("run %s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

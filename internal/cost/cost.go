@@ -29,6 +29,12 @@ const infThreshold = Cost(math.MaxFloat64 / 4)
 // IsInf reports whether c represents the infinite cost.
 func (c Cost) IsInf() bool { return c >= infThreshold }
 
+// IsZero reports whether c is the exact finite zero cost. Zero is the
+// additive identity of the zero/infinity ATE regime — it is assigned,
+// never accumulated through rounding — so the exact comparison is
+// sound. Use it instead of a raw c == 0 outside this package.
+func (c Cost) IsZero() bool { return !c.IsInf() && c == 0 }
+
 // Add returns c + d, saturating at Inf if either operand is infinite.
 func (c Cost) Add(d Cost) Cost {
 	if c.IsInf() || d.IsInf() {
@@ -52,6 +58,7 @@ func (c Cost) Less(d Cost) bool {
 // Finite returns the float64 value of a finite cost; it panics on Inf.
 func (c Cost) Finite() float64 {
 	if c.IsInf() {
+		//pbqpvet:ignore panicfree documented contract: Finite on Inf is a caller bug, there is no value to return
 		panic("cost: Finite called on infinite cost")
 	}
 	return float64(c)
@@ -110,6 +117,7 @@ func (v Vector) Clone() Vector {
 // It panics if the lengths differ.
 func (v Vector) AddInPlace(w Vector) {
 	if len(v) != len(w) {
+		//pbqpvet:ignore panicfree shape mismatch is a caller bug, like the slice bounds panic it mirrors
 		panic("cost: vector length mismatch")
 	}
 	for i := range v {
@@ -193,6 +201,7 @@ func NewMatrixFrom(rows [][]Cost) *Matrix {
 	m := NewMatrix(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
+			//pbqpvet:ignore panicfree ragged literal is a caller bug in test/fixture construction code
 			panic("cost: ragged matrix rows")
 		}
 		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
@@ -240,6 +249,7 @@ func (m *Matrix) Transpose() *Matrix {
 // It panics on shape mismatch.
 func (m *Matrix) AddInPlace(o *Matrix) {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
+		//pbqpvet:ignore panicfree shape mismatch is a caller bug, like the slice bounds panic it mirrors
 		panic("cost: matrix shape mismatch")
 	}
 	for i := range m.Data {

@@ -205,9 +205,11 @@ func (s *State) DeadEnd() bool { return !s.Done() && s.dead > 0 }
 // use Legal first.
 func (s *State) Play(a int) {
 	if s.Done() {
+		//pbqpvet:ignore panicfree documented contract: callers check Done/Legal first; the self-play hot path cannot afford error returns
 		panic("game: Play on a finished game")
 	}
 	if a < 0 || a >= s.m || !s.Legal(a) {
+		//pbqpvet:ignore panicfree documented contract: callers check Done/Legal first; the self-play hot path cannot afford error returns
 		panic(fmt.Sprintf("game: illegal action %d at turn %d", a, s.t))
 	}
 	rec := undoRec{acc: s.acc, dead: s.dead}
@@ -219,7 +221,7 @@ func (s *State) Play(a int) {
 		vec := s.vecs[v]
 		wasDead := vec.AllInf()
 		for i, rc := range row {
-			if rc == 0 {
+			if rc.IsZero() {
 				continue
 			}
 			rec.changes = append(rec.changes, change{v: v, i: i, old: vec[i]})
@@ -238,6 +240,7 @@ func (s *State) Play(a int) {
 // Undo reverts the most recent Play. It panics if no action was taken.
 func (s *State) Undo() {
 	if s.t == 0 {
+		//pbqpvet:ignore panicfree documented contract: Undo without a prior Play is a caller bug
 		panic("game: Undo at initial state")
 	}
 	s.t--
@@ -321,14 +324,14 @@ func GradedReward(got, base cost.Cost) float64 {
 	if base.IsInf() {
 		return 1
 	}
-	b := float64(base)
-	if b == 0 {
+	if base.IsZero() {
 		return CompareCosts(got, base)
 	}
+	b := base.Finite()
 	if b < 0 {
 		b = -b
 	}
-	v := (float64(base) - float64(got)) / b
+	v := (base.Finite() - got.Finite()) / b
 	if v > 1 {
 		return 1
 	}
@@ -351,8 +354,8 @@ func CompareCosts(got, base cost.Cost) float64 {
 	if base.IsInf() {
 		return 1
 	}
-	diff := float64(got - base)
-	tol := 1e-9 * (1 + float64(got) + float64(base))
+	diff := got.Finite() - base.Finite()
+	tol := 1e-9 * (1 + got.Finite() + base.Finite())
 	switch {
 	case diff < -tol:
 		return 1

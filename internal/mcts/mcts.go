@@ -47,9 +47,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.CPuct == 0 {
 		c.CPuct = 1.25
 	}
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.Eps == 0 {
 		c.Eps = 1e-3
 	}
@@ -225,6 +227,7 @@ func (t *Tree) Policy() tensor.Vec {
 			total += pi[a]
 		}
 	}
+	//pbqpvet:ignore floatcmp visit weights are non-negative; an exactly-zero sum means no visits at all
 	if total == 0 {
 		for a := 0; a < t.m; a++ {
 			if nd.actionOpen(a) {
@@ -257,6 +260,7 @@ func (t *Tree) RootExpanded() bool { return t.root.expanded }
 func (t *Tree) Advance(a int) {
 	nd := t.root
 	if !nd.expanded || nd.terminal {
+		//pbqpvet:ignore panicfree documented contract: Advance is only legal on an expanded non-terminal root
 		panic("mcts: Advance on unexpanded or terminal root")
 	}
 	child := nd.children[a]
@@ -276,6 +280,7 @@ func (t *Tree) Advance(a int) {
 // was not retained (see Config.RetainParents).
 func (t *Tree) Back() {
 	if t.root.parent == nil {
+		//pbqpvet:ignore panicfree documented contract: Back requires Config.RetainParents, enforced by the rl solver
 		panic("mcts: Back at tree root (backtracking requires Config.RetainParents)")
 	}
 	t.root = t.root.parent

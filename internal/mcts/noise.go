@@ -38,6 +38,7 @@ func dirichlet(rng *rand.Rand, alpha float64, n int) []float64 {
 		out[i] = gammaSample(rng, alpha)
 		sum += out[i]
 	}
+	//pbqpvet:ignore floatcmp gamma samples are non-negative; an exactly-zero sum means every draw underflowed
 	if sum == 0 {
 		for i := range out {
 			out[i] = 1 / float64(n)
@@ -56,6 +57,7 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 	if shape < 1 {
 		// Gamma(a) = Gamma(a+1) · U^(1/a)
 		u := rng.Float64()
+		//pbqpvet:ignore floatcmp rng.Float64 can return exactly 0, which the open-interval gamma transform must exclude
 		if u == 0 {
 			u = 1e-300
 		}

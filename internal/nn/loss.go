@@ -47,6 +47,7 @@ func Softmax(logits tensor.Vec, mask []bool) tensor.Vec {
 func CrossEntropy(p, target tensor.Vec) float64 {
 	l := 0.0
 	for i, t := range target {
+		//pbqpvet:ignore floatcmp one-hot targets carry exact zeros; skips the 0*log(p) terms
 		if t == 0 {
 			continue
 		}

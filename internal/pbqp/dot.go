@@ -31,7 +31,7 @@ func WriteDOT(w io.Writer, g *Graph, name string) error {
 		}
 		minC, _ := cost.Vector(e.M.Data).Min()
 		label := fmt.Sprintf("%d inf", inf)
-		if minC != 0 && !minC.IsInf() {
+		if !minC.IsInf() && !minC.IsZero() {
 			label += fmt.Sprintf(", min %s", minC)
 		}
 		fmt.Fprintf(bw, "  v%d -- v%d [label=%q];\n", e.U, e.V, label)

@@ -37,6 +37,7 @@ type Graph struct {
 // no edges. It panics if n < 0 or m <= 0.
 func New(n, m int) *Graph {
 	if n < 0 || m <= 0 {
+		//pbqpvet:ignore panicfree documented constructor contract; dimensions are code constants, not input data
 		panic(fmt.Sprintf("pbqp: invalid dimensions n=%d m=%d", n, m))
 	}
 	g := &Graph{
@@ -74,6 +75,7 @@ func (g *Graph) VertexCost(u int) cost.Vector { return g.vecs[u] }
 // It panics if len(v) != M().
 func (g *Graph) SetVertexCost(u int, v cost.Vector) {
 	if len(v) != g.m {
+		//pbqpvet:ignore panicfree shape/dimension mismatch is a caller bug, mirrors the slice-bounds panic
 		panic("pbqp: vertex cost vector has wrong length")
 	}
 	g.vecs[u] = v.Clone()
@@ -106,6 +108,7 @@ func (g *Graph) EdgeCost(u, v int) *cost.Matrix { return g.adj[u][v] }
 func (g *Graph) SetEdgeCost(u, v int, mat *cost.Matrix) {
 	g.checkEdge(u, v)
 	if mat.Rows != g.m || mat.Cols != g.m {
+		//pbqpvet:ignore panicfree shape/dimension mismatch is a caller bug, mirrors the slice-bounds panic
 		panic("pbqp: edge cost matrix has wrong shape")
 	}
 	g.adj[u][v] = mat.Clone()
@@ -117,6 +120,7 @@ func (g *Graph) SetEdgeCost(u, v int, mat *cost.Matrix) {
 func (g *Graph) AddEdgeCost(u, v int, mat *cost.Matrix) {
 	g.checkEdge(u, v)
 	if mat.Rows != g.m || mat.Cols != g.m {
+		//pbqpvet:ignore panicfree shape/dimension mismatch is a caller bug, mirrors the slice-bounds panic
 		panic("pbqp: edge cost matrix has wrong shape")
 	}
 	if existing, ok := g.adj[u][v]; ok {
@@ -130,9 +134,11 @@ func (g *Graph) AddEdgeCost(u, v int, mat *cost.Matrix) {
 
 func (g *Graph) checkEdge(u, v int) {
 	if u == v {
+		//pbqpvet:ignore panicfree documented API-contract panic on caller error, mirrors the slice-bounds panic
 		panic("pbqp: self loop")
 	}
 	if !g.alive[u] || !g.alive[v] {
+		//pbqpvet:ignore panicfree documented API-contract panic on caller error, mirrors the slice-bounds panic
 		panic("pbqp: edge endpoint is not alive")
 	}
 }
@@ -263,6 +269,7 @@ func (g *Graph) TotalCost(sel Selection) cost.Cost {
 			continue
 		}
 		if u >= len(sel) || sel[u] < 0 || sel[u] >= g.m {
+			//pbqpvet:ignore panicfree documented contract: selections are produced by solvers, an invalid one is a solver bug
 			panic(fmt.Sprintf("pbqp: invalid selection for vertex %d", u))
 		}
 		sum = sum.Add(g.vecs[u][sel[u]])
@@ -280,9 +287,11 @@ func (g *Graph) TotalCost(sel Selection) cost.Cost {
 // dead or a is out of range.
 func (g *Graph) ColorVertex(u, a int) cost.Cost {
 	if !g.alive[u] {
+		//pbqpvet:ignore panicfree documented API-contract panic on caller error, mirrors the slice-bounds panic
 		panic("pbqp: coloring a dead vertex")
 	}
 	if a < 0 || a >= g.m {
+		//pbqpvet:ignore panicfree documented API-contract panic on caller error, mirrors the slice-bounds panic
 		panic("pbqp: color out of range")
 	}
 	own := g.vecs[u][a]
@@ -299,14 +308,17 @@ func (g *Graph) ColorVertex(u, a int) cost.Cost {
 // graph into their chosen coloring order.
 func (g *Graph) Permute(order []int) *Graph {
 	if len(order) != g.live {
+		//pbqpvet:ignore panicfree documented contract: the order comes from the solver's own bookkeeping
 		panic("pbqp: order must list every alive vertex exactly once")
 	}
 	pos := make(map[int]int, len(order))
 	for i, u := range order {
 		if !g.alive[u] {
+			//pbqpvet:ignore panicfree documented contract: the order comes from the solver's own bookkeeping
 			panic("pbqp: order contains a dead vertex")
 		}
 		if _, dup := pos[u]; dup {
+			//pbqpvet:ignore panicfree documented contract: the order comes from the solver's own bookkeeping
 			panic("pbqp: order contains a duplicate vertex")
 		}
 		pos[u] = i

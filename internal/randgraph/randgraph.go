@@ -31,6 +31,7 @@ type Config struct {
 // every instance has at least one finite-cost assignment candidate.
 func ErdosRenyi(rng *rand.Rand, cfg Config) *pbqp.Graph {
 	maxCost := cfg.MaxCost
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if maxCost == 0 {
 		maxCost = 10
 	}
@@ -105,6 +106,7 @@ type ZeroInfConfig struct {
 // the no-spill ATE regime of Section II-B.
 func ZeroInf(rng *rand.Rand, cfg ZeroInfConfig) (*pbqp.Graph, pbqp.Selection) {
 	pEasyInf := cfg.PEasyInf
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if pEasyInf == 0 {
 		pEasyInf = cfg.PEdgeInf / 8
 	}

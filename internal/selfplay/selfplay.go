@@ -112,9 +112,11 @@ func (c Config) withDefaults() Config {
 	if c.TrainSteps == 0 {
 		c.TrainSteps = 2 * c.EpisodesPerIter
 	}
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.LR == 0 {
 		c.LR = 1e-3
 	}
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.L2 == 0 {
 		c.L2 = 1e-4
 	}
@@ -124,9 +126,11 @@ func (c Config) withDefaults() Config {
 	if c.ArenaWins == 0 {
 		c.ArenaWins = c.ArenaGames / 2
 	}
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.NoiseAlpha == 0 {
 		c.NoiseAlpha = 0.5
 	}
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
 	if c.NoiseFrac == 0 {
 		c.NoiseFrac = 0.25
 	}
@@ -216,6 +220,7 @@ func NewTrainer(n *net.PBQPNet, cfg Config) (*Trainer, error) {
 func New(n *net.PBQPNet, cfg Config) *Trainer {
 	t, err := NewTrainer(n, cfg)
 	if err != nil {
+		//pbqpvet:ignore panicfree documented panicking twin of NewTrainer, like regexp.MustCompile vs Compile
 		panic(err.Error())
 	}
 	return t
@@ -359,6 +364,7 @@ func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *Ite
 	if err != nil {
 		// the PCG state marshal cannot fail; losing it silently would
 		// forfeit the rewind guarantee, so fail loudly
+		//pbqpvet:ignore panicfree PCG state marshal cannot fail; losing it silently would forfeit the bit-identical resume guarantee
 		panic("selfplay: snapshot master RNG: " + err.Error())
 	}
 	seeds := make([]int64, total-start)
@@ -386,6 +392,7 @@ func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *Ite
 	// interrupted: rewind the master stream to exactly the seeds of the
 	// committed prefix, as if the sequential loop had stopped here
 	if err := t.src.setState(pre); err != nil {
+		//pbqpvet:ignore panicfree PCG state rewind cannot fail; losing it silently would forfeit the bit-identical resume guarantee
 		panic("selfplay: rewind master RNG: " + err.Error())
 	}
 	for i := 0; i < dispatched; i++ {
@@ -464,6 +471,7 @@ func samplePolicy(rng *rand.Rand, pi tensor.Vec) int {
 		}
 		total += p
 	}
+	//pbqpvet:ignore floatcmp policy weights are non-negative; an exactly-zero total means no legal action
 	if total == 0 {
 		return -1
 	}

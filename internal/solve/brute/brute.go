@@ -82,14 +82,14 @@ type search struct {
 func hasNegativeCosts(g *pbqp.Graph) bool {
 	for _, u := range g.Vertices() {
 		for _, c := range g.VertexCost(u) {
-			if !c.IsInf() && c < 0 {
+			if c.Less(0) {
 				return true
 			}
 		}
 	}
 	for _, e := range g.Edges() {
 		for _, c := range e.M.Data {
-			if !c.IsInf() && c < 0 {
+			if c.Less(0) {
 				return true
 			}
 		}

@@ -234,7 +234,7 @@ func propagate(g *pbqp.Graph, u, c int, later []int) []change {
 		row := g.EdgeCost(u, v).Row(c)
 		vec := g.VertexCost(v)
 		for i, rc := range row {
-			if rc == 0 {
+			if rc.IsZero() {
 				continue
 			}
 			undo = append(undo, change{v: v, i: i, old: vec[i]})

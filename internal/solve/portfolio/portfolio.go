@@ -130,6 +130,7 @@ func (s *Solver) SolveStats(ctx context.Context, g *pbqp.Graph) (solve.Result, S
 		deadline, hasDeadline = d, true
 	}
 	if s.Budget > 0 {
+		//pbqpvet:ignore determinism wall-clock budget split is the portfolio's contract; solver outputs stay deterministic, only truncation timing varies
 		if b := time.Now().Add(s.Budget); !hasDeadline || b.Before(deadline) {
 			deadline, hasDeadline = b, true
 		}
@@ -163,6 +164,7 @@ func (s *Solver) SolveStats(ctx context.Context, g *pbqp.Graph) (solve.Result, S
 			stageBudget := time.Duration(float64(remaining) * share)
 			stageCtx, cancel = context.WithTimeout(ctx, stageBudget)
 		}
+		//pbqpvet:ignore determinism per-stage wall time is reporting only; it never feeds back into solver decisions
 		start := time.Now()
 		res, panicked, panicVal := runStage(stageCtx, stage.Solver, g, logf)
 		if cancel != nil {
