@@ -11,8 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +30,7 @@ import (
 	"pbqprl/internal/perfmodel"
 	"pbqprl/internal/regalloc"
 	"pbqprl/internal/selfplay"
+	"pbqprl/internal/server"
 	"pbqprl/internal/solve/scholz"
 )
 
@@ -303,6 +309,102 @@ func BenchmarkSelfplayEpisodes(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_selfplay.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Serving benchmark ---
+
+// BenchmarkServeThroughput measures end-to-end request throughput of
+// the allocation service (internal/server) at several client
+// concurrency levels: full HTTP handler path — parse, admission,
+// portfolio solve, JSON response — without network sockets, so the
+// number is the service's in-process ceiling. After the sub-benchmarks
+// finish the results are written to BENCH_serve.json in the repository
+// root.
+func BenchmarkServeThroughput(b *testing.B) {
+	// A small but non-trivial graph (the paper's Figure 2 example): the
+	// benchmark exercises the serving overhead, not solver scaling —
+	// BenchmarkScholzSolve and friends cover that.
+	const graphText = "pbqp 3 2\nv 0 5 2\nv 1 5 0\nv 2 0 0\ne 0 1 0 inf inf 4\ne 1 2 1 0 0 2\n"
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	type result struct {
+		Clients        int     `json:"clients"`
+		Requests       int     `json:"requests"`
+		RequestsPerSec float64 `json:"requests_per_sec"`
+	}
+	// keep only the final (largest b.N) run per concurrency level
+	byClients := map[int]result{}
+	for _, c := range counts {
+		c := c
+		b.Run(fmt.Sprintf("clients=%d", c), func(b *testing.B) {
+			srv, err := server.New(server.Config{
+				Workers:         runtime.GOMAXPROCS(0),
+				QueueDepth:      4096,
+				DefaultChain:    []string{"liberty", "scholz"},
+				DefaultDeadline: time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := srv.Handler()
+			var bad atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for g := 0; g < c; g++ {
+				n := b.N / c
+				if g < b.N%c {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(graphText))
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, req)
+						if rec.Code != http.StatusOK {
+							bad.Add(1)
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if bad.Load() > 0 {
+				b.Fatalf("%d of %d requests failed", bad.Load(), b.N)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				b.Fatal(err)
+			}
+			perSec := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(perSec, "req/sec")
+			byClients[c] = result{Clients: c, Requests: b.N, RequestsPerSec: perSec}
+		})
+	}
+	var results []result
+	for _, c := range counts {
+		if r, ok := byClients[c]; ok {
+			results = append(results, r)
+		}
+	}
+	report := struct {
+		Benchmark  string   `json:"benchmark"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		Results    []result `json:"results"`
+	}{"BenchmarkServeThroughput", runtime.GOMAXPROCS(0), results}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pbqp-solve [-solver brute|scholz|liberty|anneal|rl|rl-bt] [-k N] [-order fixed|random|inc|dec]
-//	           [-timeout 50ms] [-portfolio] file.pbqp
+//	           [-timeout 50ms] [-portfolio] [-stats-json] file.pbqp
 //
 // The rl solvers use an untrained (uniform-prior) network unless -net
 // points at a checkpoint produced by pbqp-train. -timeout bounds the
@@ -14,7 +14,9 @@
 // -portfolio ignores -solver and runs the fallback chain
 // deep-rl+backtrack → liberty → scholz, splitting the timeout across
 // stages, recovering stage panics, and keeping the cheapest feasible
-// answer.
+// answer. -stats-json prints the per-stage portfolio.Stats report as
+// one JSON line on stderr (a single -solver reports as a one-stage
+// chain) — the same struct pbqp-serve returns in its responses.
 //
 // Exit status:
 //
@@ -27,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +63,7 @@ func main() {
 	maxStates := flag.Int64("max-states", 50_000_000, "search budget")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = unlimited); exceeding it returns the best-so-far with exit status 3")
 	usePortfolio := flag.Bool("portfolio", false, "run the deep-rl+backtrack → liberty → scholz fallback chain under -timeout instead of -solver")
+	statsJSON := flag.Bool("stats-json", false, "print per-stage solver stats as JSON to stderr — the same portfolio.Stats struct pbqp-serve returns")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pbqp-solve [flags] file.pbqp")
@@ -121,17 +125,41 @@ func main() {
 
 	var res solve.Result
 	var stats *portfolio.Stats
+	var jsonStats *portfolio.Stats
 	if p, ok := s.(*portfolio.Solver); ok {
 		// The portfolio manages its own -timeout budget itself; per-stage
 		// outcomes are worth reporting.
 		r, st := p.SolveStats(context.Background(), g)
-		res, stats = r, &st
-	} else if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		res = solve.SolveCtx(ctx, s, g)
-		cancel()
+		res, stats, jsonStats = r, &st, &st
 	} else {
-		res = s.Solve(g)
+		//pbqpvet:ignore determinism -stats-json reports operational solve latency, never solver input
+		start := time.Now()
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			res = solve.SolveCtx(ctx, s, g)
+			cancel()
+		} else {
+			res = s.Solve(g)
+		}
+		if *statsJSON {
+			// A single solver reports as a one-stage chain so CLI and
+			// service emit the same shape regardless of -portfolio.
+			winner := -1
+			if res.Feasible {
+				winner = 0
+			}
+			jsonStats = &portfolio.Stats{
+				Stages: []portfolio.Outcome{{Name: s.Name(), Result: res, Duration: time.Since(start)}},
+				Winner: winner,
+			}
+		}
+	}
+	if *statsJSON && jsonStats != nil {
+		data, err := json.Marshal(jsonStats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, string(data))
 	}
 
 	fmt.Printf("solver:    %s\n", s.Name())

@@ -9,6 +9,7 @@
 package cost
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -70,6 +71,59 @@ func (c Cost) String() string {
 		return "inf"
 	}
 	return strconv.FormatFloat(float64(c), 'g', -1, 64)
+}
+
+// MarshalJSON renders a finite cost as a JSON number and the infinite
+// cost as the string "inf" — JSON has no infinity literal, and emitting
+// the raw MaxFloat64 sentinel would invite consumers to do arithmetic
+// on it.
+func (c Cost) MarshalJSON() ([]byte, error) {
+	if c.IsInf() {
+		return []byte(`"inf"`), nil
+	}
+	return json.Marshal(float64(c))
+}
+
+// UnmarshalJSON accepts what MarshalJSON emits plus the textual
+// spellings Parse accepts ("inf", "infinity", ...). Finite numbers in
+// the reserved infinite range are rejected, mirroring the text parser:
+// they are almost certainly corrupted data, and the explicit spelling
+// exists.
+func (c *Cost) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := Parse(s)
+		if err != nil {
+			return err
+		}
+		*c = v
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("cost: %q is not a valid PBQP cost", data)
+	}
+	v, err := fromFloat(f)
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// fromFloat validates a numeric literal the way Parse validates a
+// textual one.
+func fromFloat(f float64) (Cost, error) {
+	if math.IsNaN(f) || math.IsInf(f, -1) || f <= -float64(infThreshold) {
+		return 0, fmt.Errorf("cost: %v is not a valid PBQP cost", f)
+	}
+	if math.IsInf(f, 1) {
+		return Inf, nil
+	}
+	if Cost(f).IsInf() {
+		return 0, fmt.Errorf("cost: finite value %v is in the reserved infinite range; use \"inf\"", f)
+	}
+	return Cost(f), nil
 }
 
 // Parse parses a cost from its textual form. "inf" (case-insensitive)

@@ -1,11 +1,50 @@
 package cost
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// TestJSONRoundTrip pins the JSON encoding: finite costs are numbers,
+// infinity is the string "inf", and decoding inverts encoding exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, c := range []Cost{0, 1, 0.30000000000000004, 1e307, -0.25, Inf} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back Cost
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != c && !(back.IsInf() && c.IsInf()) {
+			t.Fatalf("round trip %v → %s → %v", c, data, back)
+		}
+	}
+	if data, _ := json.Marshal(Inf); string(data) != `"inf"` {
+		t.Fatalf("Inf marshals as %s, want \"inf\"", data)
+	}
+}
+
+// TestJSONRejectsHostileValues mirrors the text parser's hardening.
+func TestJSONRejectsHostileValues(t *testing.T) {
+	for _, in := range []string{`"NaN"`, `"-inf"`, `1e308`, `-1e308`, `"zebra"`, `{}`, `[1]`} {
+		var c Cost
+		if err := json.Unmarshal([]byte(in), &c); err == nil {
+			t.Fatalf("UnmarshalJSON accepted %s as %v", in, c)
+		}
+	}
+	// Explicit spellings keep working through the JSON path too.
+	for _, in := range []string{`"inf"`, `"INF"`, `"infinity"`, `"+inf"`} {
+		var c Cost
+		if err := json.Unmarshal([]byte(in), &c); err != nil || !c.IsInf() {
+			t.Fatalf("UnmarshalJSON(%s) = %v, %v; want Inf", in, c, err)
+		}
+	}
+}
 
 func TestInfPredicates(t *testing.T) {
 	if !Inf.IsInf() {

@@ -70,12 +70,65 @@ const (
 	maxCostEntries = 1 << 26
 )
 
+// ReadLimits bounds what ReadWithLimits will accept before allocating.
+// The zero value of any field means "use the package default", so
+// callers can tighten a single knob without restating the others. A
+// serving process typically shrinks these well below the package
+// defaults: its request path has a latency budget that a
+// million-vertex graph could never meet anyway.
+type ReadLimits struct {
+	// MaxVertices caps the header vertex count n.
+	MaxVertices int
+	// MaxColors caps the header color count m.
+	MaxColors int
+	// MaxCostEntries caps the total vertex-vector allocation n·m.
+	MaxCostEntries int
+}
+
+// DefaultReadLimits returns the package-default parser bounds — the
+// ones Read itself enforces.
+func DefaultReadLimits() ReadLimits {
+	return ReadLimits{
+		MaxVertices:    MaxVertices,
+		MaxColors:      MaxColors,
+		MaxCostEntries: maxCostEntries,
+	}
+}
+
+// withDefaults fills unset (zero or negative) fields from the package
+// defaults and clamps each bound to its package maximum: the hardening
+// caps are a ceiling, not a suggestion.
+func (l ReadLimits) withDefaults() ReadLimits {
+	d := DefaultReadLimits()
+	if l.MaxVertices <= 0 || l.MaxVertices > d.MaxVertices {
+		l.MaxVertices = d.MaxVertices
+	}
+	if l.MaxColors <= 0 || l.MaxColors > d.MaxColors {
+		l.MaxColors = d.MaxColors
+	}
+	if l.MaxCostEntries <= 0 || l.MaxCostEntries > d.MaxCostEntries {
+		l.MaxCostEntries = d.MaxCostEntries
+	}
+	return l
+}
+
 // Read parses a graph in the textual PBQP format. Malformed input —
 // absurd or negative dimensions, costs in the reserved infinite range
 // that are not spelled "inf", NaN, duplicate vertex or edge lines,
 // out-of-range endpoints, truncated lines — yields a descriptive error;
-// Read never panics on any input.
+// Read never panics on any input. Read enforces the package-default
+// size caps; use ReadWithLimits to tighten them per call.
 func Read(r io.Reader) (*Graph, error) {
+	return ReadWithLimits(r, DefaultReadLimits())
+}
+
+// ReadWithLimits is Read under caller-chosen size caps. Unset limit
+// fields fall back to the package defaults, and no field can exceed
+// them — the defaults are the hard ceiling. Graphs past any cap are
+// rejected with a descriptive error before the corresponding
+// allocation happens.
+func ReadWithLimits(r io.Reader, limits ReadLimits) (*Graph, error) {
+	lim := limits.withDefaults()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var g *Graph
@@ -104,13 +157,13 @@ func Read(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil || n < 0 || m <= 0 {
 				return nil, fmt.Errorf("pbqp: line %d: bad dimensions", lineno)
 			}
-			if n > MaxVertices {
-				return nil, fmt.Errorf("pbqp: line %d: vertex count %d exceeds the limit %d", lineno, n, MaxVertices)
+			if n > lim.MaxVertices {
+				return nil, fmt.Errorf("pbqp: line %d: vertex count %d exceeds the limit %d", lineno, n, lim.MaxVertices)
 			}
-			if m > MaxColors {
-				return nil, fmt.Errorf("pbqp: line %d: color count %d exceeds the limit %d", lineno, m, MaxColors)
+			if m > lim.MaxColors {
+				return nil, fmt.Errorf("pbqp: line %d: color count %d exceeds the limit %d", lineno, m, lim.MaxColors)
 			}
-			if n > 0 && n*m > maxCostEntries {
+			if n > 0 && n*m > lim.MaxCostEntries {
 				return nil, fmt.Errorf("pbqp: line %d: graph size %d×%d exceeds the total cost-entry limit", lineno, n, m)
 			}
 			g = New(n, m)

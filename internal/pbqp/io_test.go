@@ -55,6 +55,49 @@ func TestReadRejectsHostileInput(t *testing.T) {
 	}
 }
 
+// TestReadWithLimits pins the per-call cap behaviour: tightened limits
+// reject graphs the defaults accept, unset fields fall back to the
+// defaults, and nothing can loosen past the package ceiling.
+func TestReadWithLimits(t *testing.T) {
+	in := "pbqp 10 4\n"
+	if _, err := Read(strings.NewReader(in)); err != nil {
+		t.Fatalf("defaults reject a 10×4 graph: %v", err)
+	}
+	cases := []struct {
+		name    string
+		limits  ReadLimits
+		wantErr string
+	}{
+		{"tight vertices", ReadLimits{MaxVertices: 4}, "vertex count 10 exceeds the limit 4"},
+		{"tight colors", ReadLimits{MaxColors: 3}, "color count 4 exceeds the limit 3"},
+		{"tight product", ReadLimits{MaxCostEntries: 39}, "cost-entry limit"},
+		{"exact fit", ReadLimits{MaxVertices: 10, MaxColors: 4, MaxCostEntries: 40}, ""},
+		{"zero fields use defaults", ReadLimits{}, ""},
+		{"negative fields use defaults", ReadLimits{MaxVertices: -1, MaxColors: -1, MaxCostEntries: -1}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadWithLimits(strings.NewReader(in), tc.limits)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ReadWithLimits(%+v) rejected: %v", tc.limits, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ReadWithLimits(%+v) error %v, want it to mention %q", tc.limits, err, tc.wantErr)
+			}
+		})
+	}
+
+	// Oversized limits clamp to the package ceiling rather than loosen it.
+	huge := ReadLimits{MaxVertices: 1 << 40, MaxColors: 1 << 40, MaxCostEntries: 1 << 40}
+	if _, err := ReadWithLimits(strings.NewReader("pbqp 2000000000 2\n"), huge); err == nil ||
+		!strings.Contains(err.Error(), "exceeds the limit") {
+		t.Fatalf("oversized limits loosened the package ceiling: err=%v", err)
+	}
+}
+
 // TestReadAcceptsExplicitInfinitySpellings pins that the reserved-range
 // rejection does not catch intentional infinities.
 func TestReadAcceptsExplicitInfinitySpellings(t *testing.T) {

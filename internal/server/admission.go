@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Admission control: a fixed worker pool behind a bounded queue.
+//
+// The state machine has three states:
+//
+//	accepting ──BeginDrain──▶ draining ──queue empty & jobs done──▶ stopped
+//
+// While accepting, submit either enqueues (queue has room) or fails
+// fast with errQueueFull — the server load-sheds with 429 instead of
+// queueing unboundedly, so memory and tail latency stay bounded no
+// matter the offered load. While draining, submit fails with
+// errDraining (503): everything already accepted still runs to
+// completion, nothing new gets in. Stopped means the queue has been
+// closed and every worker has exited.
+var (
+	// errQueueFull rejects a request because the bounded queue is at
+	// capacity; the client should retry after backing off.
+	errQueueFull = errors.New("server: queue full")
+	// errDraining rejects a request because the server is shutting
+	// down; the client should go elsewhere.
+	errDraining = errors.New("server: draining")
+)
+
+// job is one unit of admitted work. The worker runs fn exactly once,
+// converts a panic into the panicVal/stack fields, and closes done.
+type job struct {
+	fn       func()
+	done     chan struct{}
+	panicked bool
+	panicVal string
+	stack    []byte
+}
+
+// newJob wraps fn for submission.
+func newJob(fn func()) *job {
+	return &job{fn: fn, done: make(chan struct{})}
+}
+
+// admission is the worker pool. All state transitions take mu; job
+// execution does not.
+type admission struct {
+	queue chan *job
+
+	mu       sync.Mutex
+	draining bool
+
+	// accepted tracks admitted-but-unfinished jobs; drain waits on it.
+	accepted sync.WaitGroup
+	// workers tracks live worker goroutines.
+	workers sync.WaitGroup
+}
+
+// newAdmission builds the pool and starts its workers.
+func newAdmission(workers, queueDepth int) *admission {
+	a := &admission{queue: make(chan *job, queueDepth)}
+	a.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go a.worker()
+	}
+	return a
+}
+
+// submit tries to admit j. It never blocks: the outcome is nil
+// (admitted), errQueueFull, or errDraining.
+func (a *admission) submit(j *job) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return errDraining
+	}
+	select {
+	case a.queue <- j:
+		a.accepted.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth is the current number of queued (not yet running) jobs.
+func (a *admission) depth() int { return len(a.queue) }
+
+// drain moves the pool to draining (new submits fail immediately),
+// waits for every accepted job to finish — or for ctx to expire — then
+// stops the workers. It returns nil on a complete drain and ctx's
+// error when the deadline cut it short (workers are then abandoned
+// mid-job; the process is exiting anyway).
+func (a *admission) drain(ctx context.Context) error {
+	a.mu.Lock()
+	wasDraining := a.draining
+	a.draining = true
+	a.mu.Unlock()
+	if wasDraining {
+		return errors.New("server: drain already in progress")
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		a.accepted.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// No accepted jobs remain and submit refuses new ones, so the
+	// queue is empty and closing it cannot race a send (submit holds
+	// mu and re-checks draining first).
+	close(a.queue)
+	a.workers.Wait()
+	return nil
+}
+
+// isDraining reports whether BeginDrain/drain has been called.
+func (a *admission) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// worker runs queued jobs until the queue is closed.
+func (a *admission) worker() {
+	defer a.workers.Done()
+	for j := range a.queue {
+		a.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation: a panicking handler
+// takes down this request, never the process or its pool neighbours.
+func (a *admission) runJob(j *job) {
+	defer a.accepted.Done()
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked = true
+			j.panicVal = fmt.Sprint(r)
+			j.stack = debug.Stack()
+		}
+	}()
+	j.fn()
+}

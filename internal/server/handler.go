@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/solve"
+	"pbqprl/internal/solve/portfolio"
+)
+
+// Request knobs. Each is a query parameter with a header alias (the
+// header wins when both are set) so callers can keep graph bodies and
+// routing concerns separate:
+//
+//	chain     / X-PBQP-Chain:     comma-separated solver chain, e.g.
+//	                              "liberty,scholz"
+//	deadline  / X-PBQP-Deadline:  Go duration, e.g. "250ms"; capped by
+//	                              the server's MaxDeadline
+//	cost-mode / X-PBQP-Cost-Mode: "zeroinf" (default) stops at the
+//	                              first complete feasible answer — in
+//	                              the ATE zero/infinity regime any
+//	                              feasible selection is optimal;
+//	                              "spill" runs every stage and keeps
+//	                              the cheapest answer, the right
+//	                              setting for weighted spill costs
+const (
+	headerChain    = "X-PBQP-Chain"
+	headerDeadline = "X-PBQP-Deadline"
+	headerCostMode = "X-PBQP-Cost-Mode"
+)
+
+// SolveResponse is the JSON body of a successful (or truncated or
+// infeasible) solve. Result is the portfolio's best answer; Stats
+// reports every stage — the same portfolio.Stats that pbqp-solve
+// -stats-json prints.
+type SolveResponse struct {
+	// Solver names the portfolio that ran, e.g.
+	// "portfolio(liberty→scholz)".
+	Solver string `json:"solver"`
+	// Result is the best answer across stages.
+	Result solve.Result `json:"result"`
+	// Stats has one outcome per stage, in chain order.
+	Stats portfolio.Stats `json:"stats"`
+	// QueueNanos is time spent waiting for a worker; SolveNanos is
+	// time on the worker. Both count against the request deadline.
+	QueueNanos int64 `json:"queue_ns"`
+	SolveNanos int64 `json:"solve_ns"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// now is the server's only wall-clock read point, for latency
+// measurement and deadline arithmetic.
+func now() time.Time {
+	//pbqpvet:ignore determinism serving-path latency measurement and deadlines are operational, never solver inputs
+	return time.Now()
+}
+
+// handleSolve is POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := now()
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		st := sw.status
+		if st == 0 {
+			st = http.StatusOK
+		}
+		s.observeRequest(st, now().Sub(start))
+	}()
+
+	if r.Method != http.MethodPost {
+		sw.Header().Set("Allow", http.MethodPost)
+		s.writeError(sw, http.StatusMethodNotAllowed, "POST a PBQP graph in the textual format")
+		return
+	}
+	if s.adm.isDraining() {
+		sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.writeError(sw, http.StatusServiceUnavailable, "server is draining; retry elsewhere")
+		return
+	}
+
+	// Parse the knobs before the body: a bad knob should not cost a
+	// graph parse.
+	chainNames, deadline, stopOnFeasible, err := s.parseKnobs(r)
+	if err != nil {
+		s.writeError(sw, http.StatusBadRequest, err.Error())
+		return
+	}
+	chain, err := buildChain(s.cfg, chainNames)
+	if err != nil {
+		s.writeError(sw, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Harden the parse path: body size cap first, then the parser's
+	// own dimension caps.
+	body := http.MaxBytesReader(sw, r.Body, s.cfg.MaxRequestBytes)
+	g, err := pbqp.ReadWithLimits(body, s.cfg.ReadLimits)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(sw, http.StatusRequestEntityTooLarge,
+				"request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+			return
+		}
+		s.writeError(sw, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The deadline starts at admission and covers queue wait: a
+	// request that queues for its whole budget gets a truncated
+	// answer, not a free extension. Deriving from the request context
+	// also cancels the solve when the client disconnects.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	p := &portfolio.Solver{StopOnFeasible: stopOnFeasible, Logf: s.cfg.Logf}
+	for _, sv := range chain {
+		p.Stages = append(p.Stages, portfolio.Stage{Solver: sv})
+	}
+
+	var (
+		res        solve.Result
+		stats      portfolio.Stats
+		solveStart time.Time
+	)
+	j := newJob(func() {
+		solveStart = now()
+		s.reg.Gauge("requests_inflight").Add(1)
+		defer s.reg.Gauge("requests_inflight").Add(-1)
+		res, stats = p.SolveStats(ctx, g)
+	})
+	queued := now()
+	if err := s.adm.submit(j); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			s.reg.Counter("requests_shed_total").Inc()
+			s.writeError(sw, http.StatusTooManyRequests, "queue full; retry after backoff")
+		default:
+			sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			s.writeError(sw, http.StatusServiceUnavailable, "server is draining; retry elsewhere")
+		}
+		return
+	}
+	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
+	<-j.done
+	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
+
+	if j.panicked {
+		// Mirror the portfolio's repro logging for panics that escape
+		// it (the portfolio already isolates per-stage panics; this
+		// catches everything else on the worker).
+		s.reg.Counter("solve_panics_total").Inc()
+		s.cfg.Logf("server: solve panicked: %s\ngraph for repro:\n%s\n%s",
+			j.panicVal, g.String(), j.stack)
+		s.writeError(sw, http.StatusInternalServerError, "solver panicked; the graph was logged for reproduction")
+		return
+	}
+
+	finish := now()
+	s.observeStages(stats)
+	resp := SolveResponse{
+		Solver:     p.Name(),
+		Result:     res,
+		Stats:      stats,
+		QueueNanos: solveStart.Sub(queued).Nanoseconds(),
+		SolveNanos: finish.Sub(solveStart).Nanoseconds(),
+	}
+	writeJSON(sw, statusFor(res), resp)
+}
+
+// statusFor maps a solve result to its HTTP status, mirroring
+// pbqp-solve's exit codes: feasible → 200 (exit 0, or 3 when
+// truncated — the JSON carries the flag), infeasible after a complete
+// search → 422 (exit 2), deadline-truncated with nothing to show →
+// 504 (exit 3).
+func statusFor(res solve.Result) int {
+	switch {
+	case res.Feasible:
+		return http.StatusOK
+	case res.Truncated:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// parseKnobs extracts the chain, deadline, and cost-mode knobs.
+func (s *Server) parseKnobs(r *http.Request) (chain []string, deadline time.Duration, stopOnFeasible bool, err error) {
+	chainSpec := knob(r, "chain", headerChain)
+	if chainSpec == "" {
+		chain = s.cfg.DefaultChain
+	} else {
+		for _, name := range strings.Split(chainSpec, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" {
+				chain = append(chain, name)
+			}
+		}
+		if len(chain) == 0 {
+			return nil, 0, false, errors.New("chain selects no solvers")
+		}
+	}
+
+	deadline = s.cfg.DefaultDeadline
+	if spec := knob(r, "deadline", headerDeadline); spec != "" {
+		d, perr := time.ParseDuration(spec)
+		if perr != nil || d <= 0 {
+			return nil, 0, false, errors.New("deadline wants a positive Go duration like 250ms")
+		}
+		deadline = d
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	switch mode := knob(r, "cost-mode", headerCostMode); mode {
+	case "", "zeroinf":
+		stopOnFeasible = true
+	case "spill":
+		stopOnFeasible = false
+	default:
+		return nil, 0, false, errors.New(`cost-mode wants "zeroinf" or "spill"`)
+	}
+	return chain, deadline, stopOnFeasible, nil
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// knob reads one request knob: the header alias wins over the query
+// parameter.
+func knob(r *http.Request, query, header string) string {
+	if v := r.Header.Get(header); v != "" {
+		return v
+	}
+	return r.URL.Query().Get(query)
+}
+
+// observeRequest records the per-status request metrics.
+func (s *Server) observeRequest(status int, d time.Duration) {
+	code := strconv.Itoa(status)
+	s.reg.Counter("http_requests_total." + code).Inc()
+	s.reg.Histogram("http_request_seconds." + code).Observe(d)
+}
+
+// observeStages records per-stage solver latency and outcome counts.
+func (s *Server) observeStages(stats portfolio.Stats) {
+	for _, out := range stats.Stages {
+		if out.Skipped {
+			s.reg.Counter("solve_stage_skipped_total." + out.Name).Inc()
+			continue
+		}
+		s.reg.Histogram("solve_stage_seconds." + out.Name).Observe(out.Duration)
+		switch {
+		case out.Panicked:
+			s.reg.Counter("solve_stage_panics_total." + out.Name).Inc()
+		case out.Result.Feasible:
+			s.reg.Counter("solve_stage_feasible_total." + out.Name).Inc()
+		default:
+			s.reg.Counter("solve_stage_infeasible_total." + out.Name).Inc()
+		}
+	}
+}
+
+// writeError sends a JSON error body with the given status.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// writeJSON sends v as a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshal of our own response types cannot fail; guard anyway.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// statusWriter records the status code actually written so the
+// deferred metrics observation sees it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

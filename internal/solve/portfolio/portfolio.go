@@ -37,31 +37,33 @@ type Stage struct {
 	Fraction float64
 }
 
-// Outcome reports how one stage of a portfolio run went.
+// Outcome reports how one stage of a portfolio run went. It marshals
+// to JSON — the duration in nanoseconds, like time.Duration itself —
+// so the CLI's -stats-json and the serving layer emit the same shape.
 type Outcome struct {
 	// Name is the stage solver's name.
-	Name string
+	Name string `json:"name"`
 	// Result is the stage's result; zero-valued when the stage was
 	// skipped or panicked.
-	Result solve.Result
-	// Duration is the stage's wall-clock time.
-	Duration time.Duration
+	Result solve.Result `json:"result"`
+	// Duration is the stage's wall-clock time (JSON: nanoseconds).
+	Duration time.Duration `json:"duration_ns"`
 	// Panicked reports that the stage solver panicked and was
 	// recovered; PanicValue carries the panic message.
-	Panicked   bool
-	PanicValue string
+	Panicked   bool   `json:"panicked,omitempty"`
+	PanicValue string `json:"panic_value,omitempty"`
 	// Skipped reports that the stage never ran because the budget (or
 	// the caller's context) was already exhausted.
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Stats reports a full portfolio run.
 type Stats struct {
 	// Stages has one entry per configured stage, in chain order.
-	Stages []Outcome
+	Stages []Outcome `json:"stages"`
 	// Winner is the index of the stage that produced the returned
 	// selection, or -1 when no stage found a feasible one.
-	Winner int
+	Winner int `json:"winner"`
 }
 
 // Solver runs a fallback chain of PBQP solvers under a total time

@@ -2,6 +2,7 @@ package portfolio
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -203,4 +204,41 @@ func (vandal) Name() string { return "vandal" }
 func (vandal) Solve(g *pbqp.Graph) solve.Result {
 	g.RemoveVertex(0)
 	panic("vandalized")
+}
+
+// TestStatsJSONRoundTrip pins the wire shape of SolveStats: the same
+// struct the server returns and pbqp-solve -stats-json prints. Infinite
+// costs must encode as "inf", durations as nanoseconds, and decoding
+// must invert encoding.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	p := &Solver{
+		Stages: []Stage{
+			{Solver: panicky{}},
+			{Solver: stub{"hopeless", solve.Result{Cost: cost.Inf}}},
+			{Solver: stub{"winner", feasible(3, 1, 0)}},
+			{Solver: stub{"spare", feasible(5, 0, 1)}},
+		},
+		StopOnFeasible: true,
+		Logf:           func(string, ...any) {},
+	}
+	_, stats := p.SolveStats(context.Background(), chainGraph(t))
+	data, err := json.Marshal(stats)
+	if err != nil {
+		t.Fatalf("marshal stats: %v", err)
+	}
+	for _, want := range []string{`"name":"panicky"`, `"panicked":true`, `"winner":2`, `"skipped":true`, `"cost":"inf"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("stats JSON %s\nmissing %s", data, want)
+		}
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal stats: %v", err)
+	}
+	if back.Winner != stats.Winner || len(back.Stages) != len(stats.Stages) {
+		t.Fatalf("round trip changed shape: %+v vs %+v", back, stats)
+	}
+	if r := back.Stages[2].Result; !r.Feasible || r.Cost != stats.Stages[2].Result.Cost {
+		t.Fatalf("winning stage result did not survive the round trip: %+v", r)
+	}
 }

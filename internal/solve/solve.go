@@ -13,28 +13,30 @@ import (
 	"pbqprl/internal/pbqp"
 )
 
-// Result is the outcome of solving one PBQP problem.
+// Result is the outcome of solving one PBQP problem. It marshals to
+// JSON (infinite costs as the string "inf") so the CLI and the serving
+// layer report identically.
 type Result struct {
 	// Selection is the color chosen for each vertex. It is only
 	// meaningful when Feasible is true.
-	Selection pbqp.Selection
+	Selection pbqp.Selection `json:"selection,omitempty"`
 	// Cost is the total cost of Selection (Equation 1), or cost.Inf
 	// when no finite-cost assignment was found.
-	Cost cost.Cost
+	Cost cost.Cost `json:"cost"`
 	// Feasible reports whether a finite-cost assignment was found.
-	Feasible bool
+	Feasible bool `json:"feasible"`
 	// Truncated reports that the solve was cut short by context
 	// cancellation or deadline expiry before the solver finished its
 	// search. A truncated result carries the best feasible selection
 	// found so far when one exists (Feasible is then still true); it
 	// is an anytime answer, not a completed one. Budget truncation via
 	// solver-specific caps (MaxStates, MaxNodes) does not set it.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 	// States counts the search states the solver explored: one per
 	// attempted (vertex, color) assignment for enumeration solvers,
 	// one per reduction step for reduction solvers. It is the paper's
 	// search-space metric.
-	States int64
+	States int64 `json:"states"`
 }
 
 // Solver solves PBQP problems.
