@@ -145,7 +145,12 @@ func main() {
 		log.Printf("received second %s, aborting drain", sig)
 		os.Exit(1)
 	}
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
+	// Shutdown gets its own short budget: reusing drainCtx would make a
+	// drain that legitimately consumed most of its timeout fail the
+	// final (near-instant, in-flight solves already done) listener close.
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 		os.Exit(1)
 	}

@@ -77,11 +77,17 @@ func (a *admission) submit(j *job) error {
 	if a.draining {
 		return errDraining
 	}
+	// Add before the send: once j is on the queue a worker may run it
+	// and fire accepted.Done() at any moment, and a Done that lands
+	// before this Add would drive the counter negative and panic. The
+	// Add cannot race drain's Wait either — drain flips draining under
+	// mu first, and we re-checked it above while holding mu.
+	a.accepted.Add(1)
 	select {
 	case a.queue <- j:
-		a.accepted.Add(1)
 		return nil
 	default:
+		a.accepted.Done()
 		return errQueueFull
 	}
 }

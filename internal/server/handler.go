@@ -152,9 +152,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
 	<-j.done
-	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
 
 	if j.panicked {
 		// Mirror the portfolio's repro logging for panics that escape

@@ -168,7 +168,7 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Gauge("queue_depth").Set(0)
 	s.reg.Gauge("requests_inflight").Set(0)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
-	s.mux.Handle("/metrics", s.reg)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -204,6 +204,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.cfg.Logf("server: drain complete")
 	return nil
+}
+
+// handleMetrics serves the registry snapshot. queue_depth is sampled
+// here rather than written from request handlers: concurrent handlers
+// racing Gauge.Set could persist a stale pre-dequeue snapshot, whereas
+// sampling at scrape time always reflects the queue as it is now.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
+	s.reg.ServeHTTP(w, r)
 }
 
 // handleHealthz answers liveness: 200 as long as the process serves

@@ -674,6 +674,36 @@ func TestAdmissionQueueFull(t *testing.T) {
 	}
 }
 
+// TestAdmissionSubmitCompleteRace regression-tests the WaitGroup
+// ordering in submit: accepted.Add must happen before the job is sent
+// on the queue, or a fast worker's deferred Done can land first and
+// panic the counter negative. Trivially fast jobs under contention
+// maximize that window; a rejected (queue-full) submit must also leave
+// the counter balanced or the final drain hangs.
+func TestAdmissionSubmitCompleteRace(t *testing.T) {
+	a := newAdmission(4, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j := newJob(func() {})
+				if err := a.submit(j); err != nil {
+					continue // shed under contention; must not leak a WaitGroup Add
+				}
+				<-j.done
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func numGoroutines() int { return runtime.NumGoroutine() }
 
 func waitFor(t *testing.T, cond func() bool, what string) {
