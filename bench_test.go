@@ -23,6 +23,7 @@ import (
 
 	"pbqprl"
 	"pbqprl/internal/ate"
+	"pbqprl/internal/dist"
 	"pbqprl/internal/experiments"
 	"pbqprl/internal/game"
 	"pbqprl/internal/llvmsuite"
@@ -405,6 +406,125 @@ func BenchmarkServeThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Distributed self-play benchmark ---
+
+// BenchmarkDistEpisodes measures episode throughput of the distributed
+// training path (internal/dist) at several worker-process-equivalents:
+// a coordinator behind a real HTTP listener with N in-process lease
+// workers claiming, playing, and streaming trajectories back. The
+// worker count never changes the trained network (lease results merge
+// in episode order), so the sub-benchmarks do identical work and the
+// ratio of their episodes/sec metrics is the distribution speedup net
+// of lease/transport overhead. After the sub-benchmarks finish the
+// results are written to BENCH_dist.json in the repository root.
+func BenchmarkDistEpisodes(b *testing.B) {
+	episodes, ktrain := 8, 4
+	if testing.Short() {
+		episodes, ktrain = 4, 2
+	}
+	spec := dist.Spec{
+		Episodes: episodes,
+		KTrain:   ktrain,
+		Regime:   "er",
+		MeanN:    10,
+		Seed:     61,
+		Net:      pbqprl.NetConfig{M: 13, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: 7},
+	}
+	counts := []int{1, 2, 4}
+	type result struct {
+		Workers        int     `json:"workers"`
+		Episodes       int     `json:"episodes_per_iteration"`
+		KTrain         int     `json:"k_train"`
+		EpisodesPerSec float64 `json:"episodes_per_sec"`
+		SecPerIter     float64 `json:"sec_per_iteration"`
+	}
+	byWorkers := map[int]result{}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				coord := dist.NewCoordinator(dist.CoordinatorConfig{
+					Spec:          spec,
+					LeaseEpisodes: 2,
+					LeaseTTL:      10 * time.Second,
+				})
+				srv := httptest.NewServer(coord.Handler())
+				ctx, cancel := context.WithCancel(context.Background())
+				var wg sync.WaitGroup
+				for k := 0; k < w; k++ {
+					worker, err := dist.NewWorker(dist.WorkerConfig{
+						Coordinator: srv.URL,
+						Name:        fmt.Sprintf("bench-%d", k),
+						Spec:        spec,
+						BackoffBase: time.Millisecond,
+						Seed:        int64(k + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						worker.Run(ctx)
+					}()
+				}
+				cfg, err := spec.SelfplayConfig()
+				if err != nil {
+					b.Fatal(err)
+				}
+				// minimal gradient/arena work: the leased episode loop
+				// is what this benchmark scales
+				cfg.ReplayCap = 4096
+				cfg.BatchSize = 1
+				cfg.TrainSteps = 1
+				cfg.ArenaGames = 1
+				cfg.ArenaWins = 1
+				cfg.Episodes = coord.RunEpisodes
+				trainer := selfplay.New(pbqprl.NewNet(spec.Net), cfg)
+				b.StartTimer()
+				start := time.Now()
+				if _, err := trainer.RunIteration(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				elapsed += time.Since(start)
+				b.StopTimer()
+				cancel()
+				wg.Wait()
+				srv.Close()
+			}
+			perSec := float64(episodes*b.N) / elapsed.Seconds()
+			b.ReportMetric(perSec, "episodes/sec")
+			byWorkers[w] = result{
+				Workers:        w,
+				Episodes:       episodes,
+				KTrain:         ktrain,
+				EpisodesPerSec: perSec,
+				SecPerIter:     elapsed.Seconds() / float64(b.N),
+			}
+		})
+	}
+	var results []result
+	for _, w := range counts {
+		if r, ok := byWorkers[w]; ok {
+			results = append(results, r)
+		}
+	}
+	report := struct {
+		Benchmark  string   `json:"benchmark"`
+		GoMaxProcs int      `json:"gomaxprocs"`
+		Results    []result `json:"results"`
+	}{"BenchmarkDistEpisodes", runtime.GOMAXPROCS(0), results}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_dist.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

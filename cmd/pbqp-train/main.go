@@ -1,10 +1,12 @@
 // Command pbqp-train runs the self-play training pipeline of Section
-// IV-A with fault-tolerant checkpointing.
+// IV-A with fault-tolerant checkpointing, either standalone or as a
+// worker in a distributed run.
 //
 // Usage:
 //
 //	pbqp-train [-iters N] [-episodes N] [-ktrain N] [-workers N] [-regime ate|er] [-out net.gob]
 //	           [-seed S] [-resume] [-checkpoint-dir DIR] [-checkpoint-every N] [-checkpoint-keep K]
+//	pbqp-train -worker http://coordinator:8090 [-regime ...] [-episodes ...] [-ktrain ...] [-seed ...]
 //
 // The "ate" regime trains on zero/infinity graphs with the ATE
 // statistics; "er" trains on the paper's Erdős–Rényi distribution with
@@ -15,11 +17,12 @@
 // The trainer checkpoints its complete state (both networks, Adam
 // moments, replay queue, RNG stream, iteration position) atomically
 // every -checkpoint-every iterations. SIGINT/SIGTERM finishes the
-// in-flight episode, checkpoints, and exits cleanly; restarting with
-// -resume (and the same flags) continues bit-identically to an
-// uninterrupted run. A truncated or corrupt newest checkpoint is
-// detected by checksum and the run falls back to the previous valid
-// one.
+// in-flight episode, checkpoints, and exits cleanly; a second signal
+// during that graceful exit forces immediate termination with exit
+// code 1. Restarting with -resume (and the same flags) continues
+// bit-identically to an uninterrupted run. A truncated or corrupt
+// newest checkpoint is detected by checksum and the run falls back to
+// the previous valid one.
 //
 // Episodes and arena games run on -workers goroutines (default: all
 // CPUs), each with its own clone of the networks. Every episode's
@@ -28,6 +31,13 @@
 // changes the result: any -workers value — including resuming a
 // checkpoint under a different one — trains bit-identically to
 // -workers 1.
+//
+// With -worker, the process instead claims episode leases from a
+// pbqp-coord coordinator and streams trajectories back, heartbeating
+// while it works. The training flags must match the coordinator's (the
+// claim handshake verifies a fingerprint of them); scheduling flags
+// are local. Workers hold no training state — kill -9 one whenever you
+// like.
 package main
 
 import (
@@ -36,18 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 
 	"pbqprl/internal/checkpoint"
+	"pbqprl/internal/dist"
 	"pbqprl/internal/experiments"
-	"pbqprl/internal/game"
 	"pbqprl/internal/net"
-	"pbqprl/internal/pbqp"
-	"pbqprl/internal/randgraph"
 	"pbqprl/internal/selfplay"
 )
 
@@ -64,45 +71,62 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every N completed iterations (0 disables periodic checkpoints)")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoints retained on disk")
 	resume := flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
+	workerURL := flag.String("worker", "", "run as a distributed self-play worker against this coordinator URL")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("pbqp-train: ")
 
-	var gen func(*rand.Rand) *pbqp.Graph
-	var order game.Order
-	switch *regime {
-	case "ate":
-		order = game.OrderDecLiberty
-		gen = func(rng *rand.Rand) *pbqp.Graph {
-			n := randgraph.NormalN(rng, *meanN, *meanN/4, 10)
-			g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
-				N: n, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.3,
-			})
-			return g
-		}
-	case "er":
-		order = game.OrderFixed
-		gen = func(rng *rand.Rand) *pbqp.Graph {
-			n := randgraph.NormalN(rng, *meanN, *meanN/4, 10)
-			return randgraph.ErdosRenyi(rng, randgraph.Config{
-				N: n, M: 13, PEdge: 0.15, PInf: 0.01, MaxCost: 40,
-			})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "pbqp-train: unknown regime %q\n", *regime)
-		os.Exit(2)
+	spec := dist.Spec{
+		Episodes: *episodes,
+		KTrain:   *ktrain,
+		Regime:   *regime,
+		MeanN:    *meanN,
+		Seed:     *seed,
+		Net:      experiments.DefaultNetConfig(),
 	}
 
-	n := net.New(experiments.DefaultNetConfig())
-	trainer, err := selfplay.NewTrainer(n, selfplay.Config{
-		EpisodesPerIter: *episodes,
-		KTrain:          *ktrain,
-		Workers:         *workers,
-		Order:           order,
-		Generate:        gen,
-		Seed:            *seed,
-		Logf:            log.Printf,
-	})
+	// SIGINT/SIGTERM cancels the context; the first signal drains
+	// gracefully (finish the in-flight episode, checkpoint, exit
+	// cleanly), a second one during that shutdown forces an immediate
+	// exit — for the operator whose graceful exit is itself wedged.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		log.Printf("second signal: forcing immediate exit")
+		os.Exit(1)
+	}()
+
+	if *workerURL != "" {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: *workerURL,
+			Spec:        spec,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("worker mode: coordinator %s, fingerprint %q", *workerURL, spec.Fingerprint())
+		if err := w.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("worker: interrupted; exiting cleanly")
+		return
+	}
+
+	cfg, err := spec.SelfplayConfig()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbqp-train: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Workers = *workers
+	cfg.Logf = log.Printf
+
+	trainer, err := selfplay.NewTrainer(net.New(spec.Net), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,12 +154,6 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-
-	// SIGINT/SIGTERM cancels the context; the trainer finishes the
-	// in-flight episode, we checkpoint the (mid-iteration) state, and
-	// exit cleanly so -resume continues exactly where this run stopped.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	save := func() {
 		payload, err := trainer.EncodeState()

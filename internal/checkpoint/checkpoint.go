@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"pbqprl/internal/failpoint"
 )
 
 const (
@@ -56,6 +58,13 @@ func Write(path string, payload []byte) error {
 	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(payload)))
 	copy(buf[headerSize:], payload)
+	// Chaos hook: simulate a crash mid-write on a filesystem (or code
+	// path) without the atomic temp-file dance — half a frame lands at
+	// the final path. Recovery tests assert LoadLatest skips it.
+	if err := failpoint.Hit("checkpoint/torn-write"); err != nil {
+		os.WriteFile(path, buf[:len(buf)/2], 0o644)
+		return fmt.Errorf("checkpoint: torn write: %w", err)
+	}
 	return WriteFileAtomic(path, buf)
 }
 
@@ -111,6 +120,17 @@ func WriteFileAtomic(path string, data []byte) error {
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	// Chaos hook: the nastiest torn-write variant — the rename goes
+	// through but the temp file lost its tail first (think a lying disk
+	// cache at power loss). The caller sees success; only the CRC check
+	// on the next load catches it.
+	if err := failpoint.Hit("checkpoint/partial-rename"); err != nil {
+		if terr := os.Truncate(tmp, int64(len(data)/2)); terr != nil {
+			os.Remove(tmp)
+			return terr
+		}
+		return os.Rename(tmp, path)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)

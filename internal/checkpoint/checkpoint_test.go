@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pbqprl/internal/failpoint"
 )
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -183,5 +185,89 @@ func TestStoreIgnoresForeignFiles(t *testing.T) {
 	}
 	if len(ids) != 1 || ids[0] != 1 {
 		t.Errorf("ids = %v, want [1]", ids)
+	}
+}
+
+// TestFailpointTornWrite arms checkpoint/torn-write so Save leaves half
+// a frame at the final path (the non-atomic crash Write normally makes
+// impossible) and asserts the keep-last-K store recovers the previous
+// checkpoint, logging the skip.
+func TestFailpointTornWrite(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	s.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	if err := s.Save(1, []byte("good state")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Enable("checkpoint/torn-write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("checkpoint/torn-write")
+	if err := s.Save(2, []byte("doomed state")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("torn save error = %v, want ErrInjected", err)
+	}
+	// The torn file really is on disk and really is garbage.
+	if _, err := Read(s.Path(2)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reading torn checkpoint: %v, want ErrCorrupt", err)
+	}
+
+	id, payload, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || string(payload) != "good state" {
+		t.Fatalf("recovered id=%d payload=%q, want the previous checkpoint", id, payload)
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "skipping") {
+		t.Fatalf("corrupt skip not logged: %q", logged)
+	}
+
+	// Disarmed, the same id saves and loads cleanly over the torn file.
+	failpoint.Disable("checkpoint/torn-write")
+	if err := s.Save(2, []byte("healed state")); err != nil {
+		t.Fatal(err)
+	}
+	if id, payload, err := s.LoadLatest(); err != nil || id != 2 || string(payload) != "healed state" {
+		t.Fatalf("after heal: id=%d payload=%q err=%v", id, payload, err)
+	}
+}
+
+// TestFailpointPartialRename arms checkpoint/partial-rename: the save
+// reports success but the renamed file lost its tail (a lying disk at
+// power loss). Only the CRC on the next load catches it; the store must
+// still fall back to the previous good checkpoint.
+func TestFailpointPartialRename(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(7, []byte("good state")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Enable("checkpoint/partial-rename", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("checkpoint/partial-rename")
+	// The injected failure is silent: Save returns nil.
+	if err := s.Save(8, []byte("silently torn state")); err != nil {
+		t.Fatalf("partial-rename save should report success, got %v", err)
+	}
+	if _, err := Read(s.Path(8)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reading truncated checkpoint: %v, want ErrCorrupt", err)
+	}
+
+	id, payload, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || string(payload) != "good state" {
+		t.Fatalf("recovered id=%d payload=%q, want the previous checkpoint", id, payload)
 	}
 }

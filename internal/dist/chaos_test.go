@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the worker entry point for the cross-process
+// chaos test: re-executing the test binary with PBQP_DIST_WORKER=1
+// runs a real lease worker against PBQP_DIST_COORD instead of the test
+// suite — the standard helper-process pattern, so the SIGKILL in
+// TestWorkerSIGKILLBitIdentical lands on a genuinely separate process.
+func TestMain(m *testing.M) {
+	if os.Getenv("PBQP_DIST_WORKER") == "1" {
+		workerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func workerMain() {
+	log.SetPrefix("dist-worker: ")
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: os.Getenv("PBQP_DIST_COORD"),
+		Spec:        chaosSpec(),
+		BackoffBase: 10 * time.Millisecond,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Runs until the parent kills the process; there is deliberately
+	// no graceful path — the whole point is dying without one.
+	if err := w.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// chaosSpec must be identical in parent and child; both compile it
+// from this function, and the fingerprint handshake double-checks.
+func chaosSpec() Spec {
+	return testSpec(59)
+}
+
+// TestWorkerSIGKILLBitIdentical is the headline robustness pin: a real
+// worker process is SIGKILLed while it provably holds a lease (a
+// failpoint delays its episodes so the kill always lands mid-lease),
+// the lease expires and is reassigned to a second process, and the
+// resulting trainer state is byte-identical to a sequential run — a
+// hard crash costs wall-clock time, never correctness.
+func TestWorkerSIGKILLBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	spec := chaosSpec()
+
+	seq := newTrainer(t, spec, nil)
+	if _, err := seq.RunIteration(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeBytes(t, seq)
+
+	coord := NewCoordinator(CoordinatorConfig{
+		Spec:          spec,
+		LeaseEpisodes: 2,
+		LeaseTTL:      300 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	spawn := func(name string, extraEnv ...string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"PBQP_DIST_WORKER=1",
+			"PBQP_DIST_COORD="+srv.URL,
+		)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn %s: %v", name, err)
+		}
+		t.Logf("spawned %s (pid %d)", name, cmd.Process.Pid)
+		return cmd
+	}
+
+	// The victim's episodes are slowed by a failpoint so the SIGKILL
+	// reliably lands while it holds a claimed, incomplete lease.
+	victim := spawn("victim", "PBQPFAIL=dist/worker/episode=delay(200ms)")
+	defer victim.Process.Kill()
+
+	trainDone := make(chan error, 1)
+	dist := newTrainer(t, spec, coord.RunEpisodes)
+	go func() {
+		_, err := dist.RunIteration(context.Background())
+		trainDone <- err
+	}()
+
+	// Kill the victim as soon as it holds an unfinished lease.
+	reg := coord.Registry()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		granted := reg.Counter("leases_granted_total").Value()
+		completed := reg.Counter("leases_completed_total").Value()
+		if granted > completed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never claimed a lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL: no cleanup, no complete, no heartbeat
+		t.Fatal(err)
+	}
+	victim.Wait()
+	t.Log("victim killed mid-lease")
+
+	// A healthy worker picks up the pieces, including the expired
+	// lease, and the iteration finishes.
+	healthy := spawn("healthy")
+	defer func() {
+		healthy.Process.Kill()
+		healthy.Wait()
+	}()
+
+	select {
+	case err := <-trainDone:
+		if err != nil {
+			t.Fatalf("distributed iteration: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed iteration never finished after worker kill")
+	}
+
+	if expired := reg.Counter("leases_expired_total").Value(); expired < 1 {
+		t.Fatalf("leases_expired_total = %d, want >= 1 (the victim's lease must have been reassigned)", expired)
+	}
+	got := encodeBytes(t, dist)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("state after SIGKILL + reassignment diverged from sequential: %d vs %d bytes", len(got), len(want))
+	}
+	t.Logf("bit-identical after SIGKILL: %d state bytes, %d leases expired",
+		len(got), reg.Counter("leases_expired_total").Value())
+}

@@ -1,0 +1,553 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pbqprl/internal/selfplay"
+	"pbqprl/internal/server"
+	"pbqprl/internal/server/metrics"
+)
+
+// CoordinatorConfig tunes a Coordinator. Zero values take the listed
+// defaults.
+type CoordinatorConfig struct {
+	// Spec pins the training run; its fingerprint gates claims.
+	Spec Spec
+	// LeaseEpisodes is the number of episodes per lease (default 4).
+	// Smaller leases spread better and lose less work to a crash;
+	// larger ones amortize the network-transfer overhead.
+	LeaseEpisodes int
+	// LeaseTTL is how long a claimed lease survives without a
+	// heartbeat before it is reassigned (default 10s). Workers
+	// heartbeat at a third of this.
+	LeaseTTL time.Duration
+	// Workers is the HTTP handler pool size (default 8) and
+	// QueueDepth its bounded queue (default 64); claims beyond both
+	// are shed with 429 + Retry-After, same as the solve service.
+	Workers    int
+	QueueDepth int
+	// RetryAfter is the floor of the adaptive Retry-After hint
+	// (default 1s).
+	RetryAfter time.Duration
+	// Logf receives progress and anomaly logs; nil discards them.
+	Logf func(format string, args ...any)
+	// Registry receives the coordinator's metrics. Nil creates one.
+	Registry *metrics.Registry
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseEpisodes <= 0 {
+		c.LeaseEpisodes = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// now is the coordinator's only wall-clock read point, for lease TTL
+// arithmetic.
+func now() time.Time {
+	//pbqpvet:ignore determinism lease TTLs are scheduling state; expiry timing never reaches episode results or trained bytes
+	return time.Now()
+}
+
+// Lease states. available → claimed on claim; claimed → available on
+// TTL expiry (epoch bumped, work reassigned); claimed → done on a
+// valid complete. done is terminal for the batch.
+const (
+	leaseAvailable = iota
+	leaseClaimed
+	leaseDone
+)
+
+// lease is one seed-range unit of work inside the current batch.
+type lease struct {
+	id    string
+	epoch int64
+	start int // episode index of seeds[0] within the iteration
+	seeds []int64
+	state int
+	// holder is the worker name of the current claimant (diagnostic).
+	holder  string
+	expires time.Time
+	// results is len(seeds) long once state == leaseDone.
+	results []selfplay.EpisodeResult
+}
+
+// batchState is the in-flight EpisodeBatch being handed out.
+type batchState struct {
+	iteration int
+	leases    []*lease
+	curNet    []byte
+	bestNet   []byte
+}
+
+// Coordinator hands out episode leases over HTTP and merges the
+// results back into trainer order. One Coordinator serves one training
+// run; RunEpisodes is its selfplay.EpisodeBackend.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	fp  string
+	adm *server.Admission
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	batch *batchState // nil between iterations
+	epoch int64       // global epoch counter; bumped on claim and expiry
+	// progress wakes RunEpisodes' wait loop after any lease state
+	// change. Buffered 1: a signal is never lost, never blocks.
+	progress chan struct{}
+}
+
+// NewCoordinator builds the coordinator and its HTTP handler.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		fp:       cfg.Spec.Fingerprint(),
+		adm:      server.NewAdmission(cfg.Workers, cfg.QueueDepth),
+		reg:      cfg.Registry,
+		mux:      http.NewServeMux(),
+		progress: make(chan struct{}, 1),
+	}
+	for _, m := range []string{
+		"leases_granted_total", "leases_completed_total",
+		"leases_expired_total", "lease_results_discarded_total",
+		"heartbeats_total", "heartbeats_rejected_total",
+		"requests_shed_total",
+	} {
+		c.reg.Counter(m)
+	}
+	c.mux.HandleFunc("/v1/lease/claim", c.admitted(c.handleClaim))
+	c.mux.HandleFunc("/v1/lease/heartbeat", c.admitted(c.handleHeartbeat))
+	c.mux.HandleFunc("/v1/lease/complete", c.admitted(c.handleComplete))
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	c.mux.HandleFunc("/readyz", c.handleReadyz)
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Registry returns the coordinator's metrics registry.
+func (c *Coordinator) Registry() *metrics.Registry { return c.reg }
+
+// Fingerprint returns the spec fingerprint workers must present.
+func (c *Coordinator) Fingerprint() string { return c.fp }
+
+// Drain stops admitting lease requests and waits for in-flight
+// handlers to finish (or ctx to expire). Call before HTTP shutdown.
+func (c *Coordinator) Drain(ctx context.Context) error { return c.adm.Drain(ctx) }
+
+// signal wakes the RunEpisodes wait loop; safe under mu or not.
+func (c *Coordinator) signal() {
+	select {
+	case c.progress <- struct{}{}:
+	default:
+	}
+}
+
+// RunEpisodes is the selfplay.EpisodeBackend: it chunks the batch into
+// leases, serves them to workers until every lease is done (merging in
+// episode order), and on ctx cancellation returns the contiguous
+// done-prefix so the trainer commits exactly what a sequential run
+// would have before the same cut.
+func (c *Coordinator) RunEpisodes(ctx context.Context, batch selfplay.EpisodeBatch) ([]selfplay.EpisodeResult, error) {
+	cur, err := batch.Cur.SaveBytes()
+	if err != nil {
+		return nil, fmt.Errorf("dist: freeze current network: %w", err)
+	}
+	best, err := batch.Best.SaveBytes()
+	if err != nil {
+		return nil, fmt.Errorf("dist: freeze best network: %w", err)
+	}
+
+	bs := &batchState{iteration: batch.Iteration, curNet: cur, bestNet: best}
+	for off := 0; off < len(batch.Seeds); off += c.cfg.LeaseEpisodes {
+		end := min(off+c.cfg.LeaseEpisodes, len(batch.Seeds))
+		bs.leases = append(bs.leases, &lease{
+			id:    fmt.Sprintf("i%d-e%d", batch.Iteration, batch.Start+off),
+			start: batch.Start + off,
+			seeds: batch.Seeds[off:end],
+			state: leaseAvailable,
+		})
+	}
+
+	c.mu.Lock()
+	if c.batch != nil {
+		c.mu.Unlock()
+		return nil, errors.New("dist: a batch is already in flight")
+	}
+	c.batch = bs
+	c.mu.Unlock()
+	c.cfg.Logf("dist: iteration %d: %d episodes in %d leases", batch.Iteration+1, len(batch.Seeds), len(bs.leases))
+
+	// Sweep for expired leases at a fraction of the TTL so a dead
+	// worker's lease is reassigned promptly.
+	sweep := time.NewTicker(maxDur(c.cfg.LeaseTTL/4, 10*time.Millisecond))
+	defer sweep.Stop()
+
+	for {
+		c.mu.Lock()
+		done := 0
+		for _, l := range bs.leases {
+			if l.state == leaseDone {
+				done++
+			}
+		}
+		if done == len(bs.leases) {
+			results := c.collectLocked(bs, len(batch.Seeds))
+			c.batch = nil
+			c.mu.Unlock()
+			return results, nil
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			// Only the contiguous done-prefix is returned: the trainer
+			// commits it and rewinds its RNG over the rest, exactly as
+			// the in-process pool does on cancellation.
+			results := c.collectLocked(bs, c.donePrefixLocked(bs))
+			c.batch = nil
+			c.mu.Unlock()
+			return results, ctx.Err()
+		case <-c.progress:
+		case <-sweep.C:
+			c.expireStale()
+		}
+	}
+}
+
+// collectLocked flattens the first n episode results in order. Caller
+// holds mu; every lease covering [0, n) must be done.
+func (c *Coordinator) collectLocked(bs *batchState, n int) []selfplay.EpisodeResult {
+	results := make([]selfplay.EpisodeResult, 0, n)
+	for _, l := range bs.leases {
+		for i := range l.seeds {
+			if len(results) == n {
+				return results
+			}
+			results = append(results, l.results[i])
+		}
+	}
+	return results
+}
+
+// donePrefixLocked returns the episode count of the contiguous done
+// prefix: leases are in episode order, so it is the seed count of the
+// leading run of done leases.
+func (c *Coordinator) donePrefixLocked(bs *batchState) int {
+	n := 0
+	for _, l := range bs.leases {
+		if l.state != leaseDone {
+			break
+		}
+		n += len(l.seeds)
+	}
+	return n
+}
+
+// expireStale reassigns claimed leases whose TTL lapsed (takes mu
+// itself). The epoch bump is what invalidates the dead holder: its
+// heartbeats and results now answer 409.
+func (c *Coordinator) expireStale() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batch == nil {
+		return
+	}
+	now := now()
+	for _, l := range c.batch.leases {
+		if l.state == leaseClaimed && now.After(l.expires) {
+			c.cfg.Logf("dist: lease %s (epoch %d, holder %s) expired; reassigning", l.id, l.epoch, l.holder)
+			c.epoch++
+			l.epoch = c.epoch
+			l.state = leaseAvailable
+			l.holder = ""
+			c.reg.Counter("leases_expired_total").Inc()
+		}
+	}
+}
+
+// admitted wraps a lease handler with the solve service's admission
+// control: bounded handler concurrency, load shedding with an adaptive
+// Retry-After under claim storms, and a drain barrier for shutdown.
+func (c *Coordinator) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		j := server.NewJob(func() { h(w, r) })
+		if err := c.adm.Submit(j); err != nil {
+			hint := server.RetryAfterHint(c.cfg.RetryAfter, c.adm.Depth(), c.cfg.Workers)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(hint.Seconds()+0.5)))
+			c.reg.Counter("requests_shed_total").Inc()
+			if errors.Is(err, server.ErrQueueFull) {
+				writeError(w, http.StatusTooManyRequests, "coordinator busy; retry after backoff")
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "coordinator draining")
+			}
+			return
+		}
+		<-j.Done()
+		if panicked, val, _ := j.Panicked(); panicked {
+			writeError(w, http.StatusInternalServerError, "handler panicked: "+val)
+		}
+	}
+}
+
+// handleClaim grants the first available lease: 200 with the lease, or
+// 204 + Retry-After when there is no work right now (between
+// iterations, or everything claimed).
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad claim body: "+err.Error())
+		return
+	}
+	if req.Fingerprint != c.fp {
+		writeError(w, http.StatusConflict, fmt.Sprintf(
+			"spec fingerprint mismatch: coordinator has %q, worker sent %q", c.fp, req.Fingerprint))
+		return
+	}
+
+	c.mu.Lock()
+	var grant *lease
+	var bs *batchState
+	if c.batch != nil {
+		for _, l := range c.batch.leases {
+			if l.state == leaseAvailable {
+				grant, bs = l, c.batch
+				c.epoch++
+				l.epoch = c.epoch
+				l.state = leaseClaimed
+				l.holder = req.Worker
+				l.expires = now().Add(c.cfg.LeaseTTL)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	if grant == nil {
+		hint := server.RetryAfterHint(c.cfg.RetryAfter, 0, c.cfg.Workers)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(hint.Seconds()+0.5)))
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.reg.Counter("leases_granted_total").Inc()
+	c.cfg.Logf("dist: lease %s (epoch %d, %d episodes) -> %s", grant.id, grant.epoch, len(grant.seeds), req.Worker)
+	writeJSON(w, http.StatusOK, wireLease{
+		ID:        grant.id,
+		Epoch:     grant.epoch,
+		Iteration: bs.iteration,
+		Start:     grant.start,
+		Seeds:     grant.seeds,
+		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		CurNet:    bs.curNet,
+		BestNet:   bs.bestNet,
+	})
+}
+
+// handleHeartbeat extends a claimed lease's TTL; a stale epoch (the
+// lease expired and was reassigned, or the batch moved on) gets 409 so
+// the old holder abandons the work.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat body: "+err.Error())
+		return
+	}
+	c.reg.Counter("heartbeats_total").Inc()
+
+	c.mu.Lock()
+	l := c.findLocked(req.ID)
+	ok := l != nil && l.state == leaseClaimed && l.epoch == req.Epoch
+	if ok {
+		l.expires = now().Add(c.cfg.LeaseTTL)
+	}
+	c.mu.Unlock()
+
+	if !ok {
+		c.reg.Counter("heartbeats_rejected_total").Inc()
+		writeError(w, http.StatusConflict, "stale lease: expired, reassigned, or unknown")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleComplete commits a lease's results. The validity check runs
+// twice — before the (possibly large) sample decode without holding
+// the decode under mu, and again before the commit — so a lease that
+// expires mid-decode is still discarded by its stale epoch.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad complete body: "+err.Error())
+		return
+	}
+
+	c.mu.Lock()
+	l := c.findLocked(req.ID)
+	valid := l != nil && l.state == leaseClaimed && l.epoch == req.Epoch
+	want := 0
+	if valid {
+		want = len(l.seeds)
+	}
+	c.mu.Unlock()
+	if !valid {
+		c.reg.Counter("lease_results_discarded_total").Inc()
+		writeError(w, http.StatusConflict, "stale lease: results discarded")
+		return
+	}
+	if len(req.Episodes) != want {
+		// A malformed payload from a confused worker: reject it and
+		// put the lease back up for grabs under a fresh epoch.
+		c.reassign(req.ID)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"lease %s: %d episodes submitted, lease covers %d; lease reassigned", req.ID, len(req.Episodes), want))
+		return
+	}
+
+	results := make([]selfplay.EpisodeResult, len(req.Episodes))
+	for i, ep := range req.Episodes {
+		if ep.Skip != "" {
+			results[i] = selfplay.EpisodeResult{Err: errors.New(ep.Skip)}
+			continue
+		}
+		samples, err := selfplay.DecodeSamples(ep.Samples)
+		if err != nil {
+			c.reassign(req.ID)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"lease %s episode %d: %v; lease reassigned", req.ID, i, err))
+			return
+		}
+		results[i] = selfplay.EpisodeResult{Z: ep.Z, Samples: samples}
+	}
+
+	c.mu.Lock()
+	l = c.findLocked(req.ID)
+	// Re-check: the lease may have expired and been reassigned (or the
+	// batch torn down) while we were decoding.
+	if l == nil || l.state != leaseClaimed || l.epoch != req.Epoch {
+		c.mu.Unlock()
+		c.reg.Counter("lease_results_discarded_total").Inc()
+		writeError(w, http.StatusConflict, "lease reassigned during submission: results discarded")
+		return
+	}
+	l.state = leaseDone
+	l.results = results
+	c.mu.Unlock()
+	c.reg.Counter("leases_completed_total").Inc()
+	c.signal()
+	w.WriteHeader(http.StatusOK)
+}
+
+// reassign puts a claimed lease back to available under a fresh epoch.
+func (c *Coordinator) reassign(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.findLocked(id); l != nil && l.state == leaseClaimed {
+		c.epoch++
+		l.epoch = c.epoch
+		l.state = leaseAvailable
+		l.holder = ""
+	}
+}
+
+// findLocked returns the lease with the given id in the current batch,
+// or nil. Caller holds mu.
+func (c *Coordinator) findLocked(id string) *lease {
+	if c.batch == nil {
+		return nil
+	}
+	for _, l := range c.batch.leases {
+		if l.id == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// handleMetrics serves the registry snapshot with lease gauges sampled
+// at scrape time.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	var avail, claimed, done int64
+	if c.batch != nil {
+		for _, l := range c.batch.leases {
+			switch l.state {
+			case leaseAvailable:
+				avail++
+			case leaseClaimed:
+				claimed++
+			case leaseDone:
+				done++
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.reg.Gauge("leases_available").Set(avail)
+	c.reg.Gauge("leases_claimed").Set(claimed)
+	c.reg.Gauge("leases_done").Set(done)
+	c.reg.ServeHTTP(w, r)
+}
+
+// handleReadyz is 200 while accepting lease traffic, 503 once
+// draining.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if c.adm.IsDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

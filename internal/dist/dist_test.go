@@ -1,0 +1,320 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pbqprl/internal/failpoint"
+	"pbqprl/internal/net"
+	"pbqprl/internal/selfplay"
+)
+
+// testSpec is laptop-scale: tiny graphs, shallow search. The regime
+// fixes M=13, so the net must match.
+func testSpec(seed int64) Spec {
+	return Spec{
+		Episodes: 6,
+		KTrain:   2,
+		Regime:   "er",
+		MeanN:    10,
+		Seed:     seed,
+		Net:      net.Config{M: 13, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: 7},
+	}
+}
+
+func newTrainer(t *testing.T, spec Spec, backend selfplay.EpisodeBackend) *selfplay.Trainer {
+	t.Helper()
+	cfg, err := spec.SelfplayConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ArenaGames = 4
+	cfg.ArenaWins = 2
+	cfg.Episodes = backend
+	tr, err := selfplay.NewTrainer(net.New(spec.Net), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func encodeBytes(t *testing.T, tr *selfplay.Trainer) []byte {
+	t.Helper()
+	b, err := tr.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSpecFingerprint(t *testing.T) {
+	a, b := testSpec(41), testSpec(41)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal specs, different fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	b.KTrain++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different specs share a fingerprint")
+	}
+	if _, err := (Spec{Regime: "zebra"}).SelfplayConfig(); err == nil || !strings.Contains(err.Error(), "zebra") {
+		t.Fatalf("bad regime error = %v", err)
+	}
+}
+
+// TestEpochStaleResultsDiscarded proves the epoch mechanism at the
+// HTTP layer: a lease claimed, expired, and reclaimed carries a new
+// epoch, and the original holder's late results — poisoned so that
+// acceptance would be visible — answer 409 and never reach the
+// trainer. A duplicate submission of the accepted result is likewise
+// discarded.
+func TestEpochStaleResultsDiscarded(t *testing.T) {
+	spec := testSpec(43)
+	coord := NewCoordinator(CoordinatorConfig{
+		Spec:          spec,
+		LeaseEpisodes: 2,
+		LeaseTTL:      80 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Drive RunEpisodes with a two-seed batch so a single lease covers
+	// everything.
+	cur, best := net.New(spec.Net), net.New(spec.Net)
+	batch := selfplay.EpisodeBatch{Iteration: 0, Start: 0, Seeds: []int64{101, 102}, Cur: cur, Best: best}
+	type backendOut struct {
+		results []selfplay.EpisodeResult
+		err     error
+	}
+	outc := make(chan backendOut, 1)
+	go func() {
+		results, err := coord.RunEpisodes(context.Background(), batch)
+		outc <- backendOut{results, err}
+	}()
+
+	// A mismatched fingerprint is rejected before any lease moves.
+	resp := postJSON(t, srv.URL+"/v1/lease/claim", claimRequest{Worker: "intruder", Fingerprint: "bogus"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("bogus fingerprint claim: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Claim the lease, then let it expire unheartbeaten.
+	claim := func() (*wireLease, int) {
+		resp := postJSON(t, srv.URL+"/v1/lease/claim", claimRequest{Worker: "w", Fingerprint: spec.Fingerprint()})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, resp.StatusCode
+		}
+		var l wireLease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		return &l, resp.StatusCode
+	}
+	first, code := claim()
+	if first == nil {
+		t.Fatalf("first claim: status %d", code)
+	}
+
+	// The expiry sweep runs inside RunEpisodes; poll until the lease is
+	// reclaimable under a bumped epoch.
+	var second *wireLease
+	deadline := time.Now().Add(10 * time.Second)
+	for second == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+		second, _ = claim()
+	}
+	if second.ID != first.ID || second.Epoch <= first.Epoch {
+		t.Fatalf("reclaim: id %s epoch %d, want same id %s with epoch > %d", second.ID, second.Epoch, first.ID, first.Epoch)
+	}
+	if got := coord.Registry().Counter("leases_expired_total").Value(); got < 1 {
+		t.Fatalf("leases_expired_total = %d, want >= 1", got)
+	}
+
+	// The dead holder's heartbeat and poisoned results are both stale.
+	resp = postJSON(t, srv.URL+"/v1/lease/heartbeat", heartbeatRequest{ID: first.ID, Epoch: first.Epoch})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale heartbeat: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	poisoned := completeRequest{ID: first.ID, Epoch: first.Epoch, Episodes: []wireEpisode{
+		{Z: 999, Skip: "poisoned"}, {Z: 999, Skip: "poisoned"},
+	}}
+	resp = postJSON(t, srv.URL+"/v1/lease/complete", poisoned)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale complete: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := coord.Registry().Counter("lease_results_discarded_total").Value(); got < 1 {
+		t.Fatalf("lease_results_discarded_total = %d, want >= 1", got)
+	}
+
+	// The live holder heartbeats and submits real episodes.
+	resp = postJSON(t, srv.URL+"/v1/lease/heartbeat", heartbeatRequest{ID: second.ID, Epoch: second.Epoch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live heartbeat: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	cfg, err := spec.SelfplayConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var episodes []wireEpisode
+	for _, seed := range second.Seeds {
+		res := selfplay.RunEpisode(cfg, cur, best, seed)
+		if res.Err != nil {
+			t.Fatalf("episode seed %d: %v", seed, res.Err)
+		}
+		data, err := selfplay.EncodeSamples(res.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		episodes = append(episodes, wireEpisode{Z: res.Z, Samples: data})
+	}
+	good := completeRequest{ID: second.ID, Epoch: second.Epoch, Episodes: episodes}
+	resp = postJSON(t, srv.URL+"/v1/lease/complete", good)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid complete: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A duplicate of the accepted submission is stale too: the lease
+	// is done, its epoch retired.
+	resp = postJSON(t, srv.URL+"/v1/lease/complete", good)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate complete: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	out := <-outc
+	if out.err != nil {
+		t.Fatalf("RunEpisodes: %v", out.err)
+	}
+	if len(out.results) != 2 {
+		t.Fatalf("RunEpisodes returned %d results, want 2", len(out.results))
+	}
+	for i, r := range out.results {
+		if r.Err != nil || r.Z == 999 {
+			t.Fatalf("result %d carries poisoned data: %+v", i, r)
+		}
+	}
+}
+
+// TestDistributedTrainingBitIdentical runs two iterations through the
+// coordinator with two concurrent in-process workers — with transient
+// complete failures injected — and asserts the full trainer state is
+// byte-identical to a sequential run.
+func TestDistributedTrainingBitIdentical(t *testing.T) {
+	spec := testSpec(47)
+
+	seq := newTrainer(t, spec, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := seq.RunIteration(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := encodeBytes(t, seq)
+
+	coord := NewCoordinator(CoordinatorConfig{
+		Spec:          spec,
+		LeaseEpisodes: 2,
+		LeaseTTL:      2 * time.Second,
+		Logf:          t.Logf,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// The first two complete calls fail at the transport layer; the
+	// worker's retry loop must recover without duplicating results.
+	if err := failpoint.Enable("dist/worker/complete", "error*2"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("dist/worker/complete")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(WorkerConfig{
+			Coordinator: srv.URL,
+			Name:        "w" + string(rune('1'+i)),
+			Spec:        spec,
+			BackoffBase: 5 * time.Millisecond,
+			Seed:        int64(i + 1),
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { workerDone <- w.Run(ctx) }()
+	}
+
+	dist := newTrainer(t, spec, coord.RunEpisodes)
+	for i := 0; i < 2; i++ {
+		if _, err := dist.RunIteration(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := encodeBytes(t, dist)
+
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-workerDone; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed state diverged from sequential: %d vs %d bytes", len(got), len(want))
+	}
+	if hits := failpoint.Hits("dist/worker/complete"); hits != 2 {
+		t.Fatalf("complete failpoint hit %d times, want 2", hits)
+	}
+	if c := coord.Registry().Counter("leases_completed_total").Value(); c < 6 {
+		t.Fatalf("leases_completed_total = %d, want >= 6", c)
+	}
+}
+
+// TestWorkerFingerprintMismatchIsPermanent pins that a worker built
+// from a different spec exits with an error instead of retrying
+// forever against a coordinator that will never accept it.
+func TestWorkerFingerprintMismatchIsPermanent(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{Spec: testSpec(53), Logf: t.Logf})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	other := testSpec(53)
+	other.KTrain++ // different spec, different fingerprint
+	w, err := NewWorker(WorkerConfig{Coordinator: srv.URL, Spec: other, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("mismatched worker: %v, want permanent fingerprint error", err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package dist distributes the episode phase of self-play training
+// across processes without giving up bit-identical results.
+//
+// A Coordinator owns the trainer and hands out episode seed-range
+// leases over HTTP; Workers claim leases, play the episodes on their
+// own copies of the frozen networks, and stream the trajectories back.
+// Leases carry a TTL refreshed by worker heartbeats: when a worker
+// dies mid-lease the TTL lapses, the lease's epoch is bumped, and the
+// work is handed to the next claimant. A late result from the dead
+// worker's epoch is detected by the stale epoch and discarded, so a
+// SIGKILLed worker can never double-commit an episode.
+//
+// Determinism: every episode's randomness comes from a seed the
+// trainer pre-draws in episode order, and the coordinator only merges
+// results as a contiguous in-order prefix (selfplay.EpisodeBackend's
+// contract). Which worker plays an episode, in what order, or how many
+// times it is replayed after a crash therefore never reaches the
+// trained networks — a distributed run is byte-identical to -workers 1.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pbqprl/internal/game"
+	"pbqprl/internal/net"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/selfplay"
+)
+
+// Spec pins everything that shapes an episode's outcome: the training
+// distribution, the search depth, the seed, and the network
+// architecture. Coordinator and workers must agree on it exactly —
+// the fingerprint handshake rejects a worker built from a different
+// spec before it can poison the run. Scheduling knobs (worker counts,
+// lease sizes, TTLs) are deliberately excluded: they may differ per
+// process without affecting results.
+type Spec struct {
+	// Episodes per iteration (selfplay.Config.EpisodesPerIter).
+	Episodes int
+	// KTrain is the MCTS simulation count per move.
+	KTrain int
+	// Regime selects the training distribution: "ate" (zero/infinity
+	// graphs, decreasing-liberty order) or "er" (Erdős–Rényi with 1%
+	// infinities, fixed order).
+	Regime string
+	// MeanN is the mean graph size of the distribution.
+	MeanN float64
+	// Seed is the master training seed.
+	Seed int64
+	// Net is the network architecture.
+	Net net.Config
+}
+
+// Fingerprint is the canonical one-line rendering of the spec used in
+// the claim handshake. Two processes with equal fingerprints play
+// bit-identical episodes for equal seeds.
+func (s Spec) Fingerprint() string {
+	return fmt.Sprintf("pbqp-dist-v1 regime=%s episodes=%d ktrain=%d mean-n=%g seed=%d net=m%d,g%d,h%d,b%d,s%d",
+		s.Regime, s.Episodes, s.KTrain, s.MeanN, s.Seed,
+		s.Net.M, s.Net.GCNLayers, s.Net.Hidden, s.Net.Blocks, s.Net.Seed)
+}
+
+// SelfplayConfig builds the selfplay.Config both sides derive their
+// episode behavior from: the coordinator feeds it to the trainer, a
+// worker feeds it to selfplay.RunEpisode. Deriving both from one Spec
+// is what makes the fingerprint handshake sufficient for determinism.
+func (s Spec) SelfplayConfig() (selfplay.Config, error) {
+	cfg := selfplay.Config{
+		EpisodesPerIter: s.Episodes,
+		KTrain:          s.KTrain,
+		Seed:            s.Seed,
+	}
+	meanN := s.MeanN
+	switch s.Regime {
+	case "ate":
+		cfg.Order = game.OrderDecLiberty
+		cfg.Generate = func(rng *rand.Rand) *pbqp.Graph {
+			n := randgraph.NormalN(rng, meanN, meanN/4, 10)
+			g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+				N: n, M: 13, PEdge: 0.25, HardRatio: 0.4, PEdgeInf: 0.3,
+			})
+			return g
+		}
+	case "er":
+		cfg.Order = game.OrderFixed
+		cfg.Generate = func(rng *rand.Rand) *pbqp.Graph {
+			n := randgraph.NormalN(rng, meanN, meanN/4, 10)
+			return randgraph.ErdosRenyi(rng, randgraph.Config{
+				N: n, M: 13, PEdge: 0.15, PInf: 0.01, MaxCost: 40,
+			})
+		}
+	default:
+		return selfplay.Config{}, fmt.Errorf("dist: unknown regime %q (want ate or er)", s.Regime)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,56 @@
+package dist
+
+// Wire types for the coordinator's lease API. Bodies are JSON; sample
+// payloads inside them are the gob frames of selfplay.EncodeSamples,
+// which encoding/json transports as base64.
+
+// claimRequest asks for a lease. Fingerprint must match the
+// coordinator's spec exactly; a mismatched worker is rejected with 409
+// before it can contribute episodes from the wrong distribution.
+type claimRequest struct {
+	Worker      string `json:"worker"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// wireLease is a granted lease: the episode seed range, the frozen
+// networks to play it with, and the heartbeat deadline.
+type wireLease struct {
+	ID        string  `json:"id"`
+	Epoch     int64   `json:"epoch"`
+	Iteration int     `json:"iteration"`
+	Start     int     `json:"start"`
+	Seeds     []int64 `json:"seeds"`
+	TTLMillis int64   `json:"ttl_millis"`
+	CurNet    []byte  `json:"cur_net"`
+	BestNet   []byte  `json:"best_net"`
+}
+
+// heartbeatRequest extends a claimed lease's TTL. Epoch must match the
+// value granted with the lease; after an expiry reassignment the old
+// holder's heartbeats answer 409 so it stops wasting work.
+type heartbeatRequest struct {
+	ID    string `json:"id"`
+	Epoch int64  `json:"epoch"`
+}
+
+// wireEpisode is one played episode: the reward, the encoded training
+// samples, and — when the episode panicked on the worker — the skip
+// reason (the trainer counts it as skipped, same as in-process).
+type wireEpisode struct {
+	Z       float64 `json:"z"`
+	Samples []byte  `json:"samples,omitempty"`
+	Skip    string  `json:"skip,omitempty"`
+}
+
+// completeRequest submits a lease's results, one wireEpisode per seed
+// in order. A stale epoch gets 409 and the payload is discarded.
+type completeRequest struct {
+	ID       string        `json:"id"`
+	Epoch    int64         `json:"epoch"`
+	Episodes []wireEpisode `json:"episodes"`
+}
+
+// errorResponse is the JSON error body for non-2xx lease responses.
+type errorResponse struct {
+	Error string `json:"error"`
+}

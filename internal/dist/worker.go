@@ -1,0 +1,374 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"pbqprl/internal/failpoint"
+	"pbqprl/internal/net"
+	"pbqprl/internal/selfplay"
+)
+
+// WorkerConfig tunes a lease worker. Zero values take the listed
+// defaults.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:8090".
+	Coordinator string
+	// Name identifies the worker in coordinator logs (default
+	// hostname-pid).
+	Name string
+	// Spec must match the coordinator's; episodes from a mismatched
+	// spec would silently corrupt training, so the claim handshake
+	// compares fingerprints and a mismatch is a permanent error.
+	Spec Spec
+	// HTTPClient defaults to a fresh client with no global timeout
+	// (heartbeats keep long solves alive; per-call contexts bound the
+	// rest).
+	HTTPClient *http.Client
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// backoff after transport errors (defaults 100ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the backoff jitter — NOT episode randomness, which
+	// comes exclusively from coordinator-issued lease seeds (default:
+	// pid so concurrent workers desynchronize).
+	Seed int64
+	// Logf receives progress logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		c.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(os.Getpid())
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker claims leases from a coordinator, plays them, and streams the
+// trajectories back, heartbeating while it works. It is deliberately
+// stateless across leases: everything that matters is on the
+// coordinator, so a worker may be SIGKILLed at any instant without
+// affecting the trained networks.
+type Worker struct {
+	cfg WorkerConfig
+	fp  string
+	sp  selfplay.Config
+	rng *rand.Rand
+}
+
+// NewWorker validates the spec and builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Coordinator == "" {
+		return nil, errors.New("dist: worker needs a coordinator URL")
+	}
+	sp, err := cfg.Spec.SelfplayConfig()
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		cfg: cfg,
+		fp:  cfg.Spec.Fingerprint(),
+		sp:  sp,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// errFatal marks claim-loop errors that retrying cannot fix.
+var errFatal = errors.New("dist: permanent worker error")
+
+// Run claims and plays leases until ctx is canceled. Transport errors
+// back off exponentially with jitter; 204/429/503 honor the
+// coordinator's Retry-After; a fingerprint mismatch is permanent and
+// returns an error. A canceled ctx returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := w.cfg.BackoffBase
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		lease, wait, err := w.claim(ctx)
+		switch {
+		case errors.Is(err, errFatal):
+			return err
+		case err != nil:
+			// Transport-level failure: jittered exponential backoff so
+			// a restarting coordinator is not met by a thundering herd.
+			d := w.jitter(backoff)
+			w.cfg.Logf("dist: claim failed (%v); backing off %v", err, d)
+			if !sleepCtx(ctx, d) {
+				return nil
+			}
+			backoff = minDur(backoff*2, w.cfg.BackoffMax)
+			continue
+		case lease == nil:
+			// No work right now (204) or shed (429/503): the
+			// coordinator told us when to come back.
+			if !sleepCtx(ctx, wait) {
+				return nil
+			}
+			continue
+		}
+		backoff = w.cfg.BackoffBase
+		if err := w.play(ctx, lease); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.cfg.Logf("dist: lease %s abandoned: %v", lease.ID, err)
+		}
+	}
+}
+
+// claim asks for a lease. Returns (lease, 0, nil) on a grant,
+// (nil, wait, nil) when there is no work yet, and an error otherwise
+// (wrapped errFatal when retrying cannot help).
+func (w *Worker) claim(ctx context.Context) (*wireLease, time.Duration, error) {
+	if err := failpoint.Hit("dist/worker/claim"); err != nil {
+		return nil, 0, err
+	}
+	resp, err := w.post(ctx, "/v1/lease/claim", claimRequest{Worker: w.cfg.Name, Fingerprint: w.fp})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var lease wireLease
+		if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+			return nil, 0, fmt.Errorf("bad lease body: %w", err)
+		}
+		return &lease, 0, nil
+	case http.StatusNoContent, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return nil, w.retryAfter(resp), nil
+	case http.StatusConflict:
+		return nil, 0, fmt.Errorf("%w: %s", errFatal, readError(resp))
+	default:
+		return nil, 0, fmt.Errorf("claim: unexpected status %d: %s", resp.StatusCode, readError(resp))
+	}
+}
+
+// play runs one lease: restore the frozen networks, heartbeat in the
+// background, play the episodes in seed order, submit the results.
+func (w *Worker) play(ctx context.Context, lease *wireLease) error {
+	cur := net.New(w.cfg.Spec.Net)
+	if err := cur.LoadBytes(lease.CurNet); err != nil {
+		return fmt.Errorf("restore current network: %w", err)
+	}
+	best := net.New(w.cfg.Spec.Net)
+	if err := best.LoadBytes(lease.BestNet); err != nil {
+		return fmt.Errorf("restore best network: %w", err)
+	}
+
+	// leaseCtx is canceled when a heartbeat answers 409: the lease was
+	// reassigned and finishing it would be wasted work.
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(leaseCtx, lease, cancel)
+	}()
+	defer func() { cancel(); <-hbDone }()
+
+	w.cfg.Logf("dist: playing lease %s (epoch %d, episodes %d-%d)",
+		lease.ID, lease.Epoch, lease.Start, lease.Start+len(lease.Seeds)-1)
+	episodes := make([]wireEpisode, 0, len(lease.Seeds))
+	for _, seed := range lease.Seeds {
+		if err := leaseCtx.Err(); err != nil {
+			return err
+		}
+		// Chaos hook: delay actions here slow a worker mid-lease so
+		// tests can SIGKILL it with work provably in flight.
+		_ = failpoint.Hit("dist/worker/episode")
+		res := selfplay.RunEpisode(w.sp, cur, best, seed)
+		if res.Err != nil {
+			episodes = append(episodes, wireEpisode{Skip: res.Err.Error()})
+			continue
+		}
+		data, err := selfplay.EncodeSamples(res.Samples)
+		if err != nil {
+			return fmt.Errorf("encode episode samples: %w", err)
+		}
+		episodes = append(episodes, wireEpisode{Z: res.Z, Samples: data})
+	}
+	return w.complete(ctx, lease, episodes)
+}
+
+// heartbeat extends the lease at a third of its TTL until ctx fires,
+// canceling the lease work when the coordinator says the lease is
+// stale. Transport errors are tolerated: the TTL absorbs a few missed
+// beats, and if the coordinator is really gone the claim loop finds
+// out soon enough.
+func (w *Worker) heartbeat(ctx context.Context, lease *wireLease, cancel context.CancelFunc) {
+	interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		resp, err := w.post(ctx, "/v1/lease/heartbeat", heartbeatRequest{ID: lease.ID, Epoch: lease.Epoch})
+		if err != nil {
+			w.cfg.Logf("dist: heartbeat %s failed: %v", lease.ID, err)
+			continue
+		}
+		code := resp.StatusCode
+		drainClose(resp)
+		if code == http.StatusConflict {
+			w.cfg.Logf("dist: lease %s is stale; abandoning", lease.ID)
+			cancel()
+			return
+		}
+	}
+}
+
+// complete submits the lease results, retrying transport errors with
+// backoff. 409 means the lease was reassigned while we played it — the
+// coordinator discarded the results, nothing to do. 400 means the
+// coordinator rejected the payload; retrying identical bytes cannot
+// help.
+func (w *Worker) complete(ctx context.Context, lease *wireLease, episodes []wireEpisode) error {
+	backoff := w.cfg.BackoffBase
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		if err = failpoint.Hit("dist/worker/complete"); err == nil {
+			var resp *http.Response
+			resp, err = w.post(ctx, "/v1/lease/complete", completeRequest{ID: lease.ID, Epoch: lease.Epoch, Episodes: episodes})
+			if err == nil {
+				code, msg := resp.StatusCode, ""
+				if resp.StatusCode != http.StatusOK {
+					msg = readError(resp)
+				}
+				drainClose(resp)
+				switch code {
+				case http.StatusOK:
+					w.cfg.Logf("dist: lease %s complete", lease.ID)
+					return nil
+				case http.StatusConflict:
+					w.cfg.Logf("dist: lease %s results discarded as stale", lease.ID)
+					return nil
+				case http.StatusBadRequest:
+					return fmt.Errorf("complete rejected: %s", msg)
+				default:
+					err = fmt.Errorf("complete: unexpected status %d: %s", code, msg)
+				}
+			}
+		}
+		d := w.jitter(backoff)
+		w.cfg.Logf("dist: complete %s failed (%v); retrying in %v", lease.ID, err, d)
+		if !sleepCtx(ctx, d) {
+			return ctx.Err()
+		}
+		backoff = minDur(backoff*2, w.cfg.BackoffMax)
+	}
+}
+
+// post sends v as JSON to the coordinator path.
+func (w *Worker) post(ctx context.Context, path string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.cfg.HTTPClient.Do(req)
+}
+
+// retryAfter reads the Retry-After hint (seconds), defaulting to the
+// worker's base backoff when absent or malformed.
+func (w *Worker) retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return w.cfg.BackoffBase
+}
+
+// jitter spreads d over [d/2, 3d/2) so synchronized workers
+// desynchronize instead of hammering the coordinator in lockstep.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(w.rng.Int63n(int64(d)))
+}
+
+// sleepCtx sleeps for d, reporting false if ctx fired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// readError extracts the error message from a non-2xx response body.
+func readError(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e errorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(data)
+}
+
+// drainClose discards the rest of the body and closes it so the
+// transport can reuse the connection.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Hit("never/armed"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if Active("never/armed") {
+		t.Fatal("unarmed point reports active")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("a/b", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit("a/b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if got := Hits("a/b"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	Disable("a/b")
+	if err := Hit("a/b"); err != nil {
+		t.Fatalf("Hit after Disable = %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("boom", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	Hit("boom")
+}
+
+func TestDelayAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("slow", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("delay Hit = %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay Hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestHitBudgetDisarmsItself(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("flaky", "error*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Hit("flaky"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Hit("flaky"); err != nil {
+		t.Fatalf("hit past budget = %v, want nil", err)
+	}
+	if Active("flaky") {
+		t.Fatal("exhausted point still armed")
+	}
+	if got := Hits("flaky"); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := EnableSpec("a=error; b=delay(1ms),c=panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !Active(name) {
+			t.Fatalf("point %q not armed by spec", name)
+		}
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	t.Cleanup(DisableAll)
+	for _, spec := range []string{"a", "a=", "a=explode", "a=delay(ms)", "a=error*0", "a=error*x"} {
+		if err := EnableSpec(spec); err == nil {
+			t.Errorf("EnableSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestReenableReplacesBudget(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("p", "error*1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("p", "delay(0s)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("replaced action Hit = %v, want nil (delay)", err)
+	}
+	if !Active("p") {
+		t.Fatal("unlimited-budget point disarmed itself")
+	}
+}

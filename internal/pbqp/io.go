@@ -56,6 +56,20 @@ func (g *Graph) String() string {
 	return b.String()
 }
 
+// Elide truncates s to at most max bytes for logging, appending a note
+// with the number of bytes dropped. Large graphs serialize to many
+// megabytes; panic-path repro logs cap them so one bad request cannot
+// flood the log. Strings within the budget pass through unchanged.
+func Elide(s string, max int) string {
+	if max < 0 {
+		max = 0
+	}
+	if len(s) <= max {
+		return s
+	}
+	return fmt.Sprintf("%s\n... (%d bytes elided)", s[:max], len(s)-max)
+}
+
 // Parser hardening bounds. A hostile header like "pbqp 2000000000 9999"
 // would otherwise allocate n·m cost entries before a single byte of
 // content is validated; graphs past these caps are rejected up front.

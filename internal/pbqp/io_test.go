@@ -174,3 +174,21 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Fatalf("edge (0,2): %v != %v", g.EdgeCost(0, 2), h.EdgeCost(0, 2))
 	}
 }
+
+func TestElide(t *testing.T) {
+	if got := Elide("short", 64); got != "short" {
+		t.Fatalf("Elide within budget = %q", got)
+	}
+	if got := Elide("abc", 3); got != "abc" {
+		t.Fatalf("Elide at exact budget = %q", got)
+	}
+	long := strings.Repeat("x", 100)
+	got := Elide(long, 10)
+	want := strings.Repeat("x", 10) + "\n... (90 bytes elided)"
+	if got != want {
+		t.Fatalf("Elide(100x, 10) = %q, want %q", got, want)
+	}
+	if got := Elide("abc", -1); got != "\n... (3 bytes elided)" {
+		t.Fatalf("Elide negative budget = %q", got)
+	}
+}

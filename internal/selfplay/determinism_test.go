@@ -164,6 +164,133 @@ func TestParallelPreCancelledContextPends(t *testing.T) {
 	}
 }
 
+// TestEpisodeBackendBitIdentical drives the Episodes seam with a
+// backend that plays the batch in reverse order on network clones and
+// round-trips every sample through the wire codec: the trained state
+// must stay byte-identical to the in-process run.
+func TestEpisodeBackendBitIdentical(t *testing.T) {
+	ref := poolTrainer(t, 35, 1)
+	refStats := runIters(t, ref, 2)
+
+	tr := poolTrainer(t, 35, 1)
+	tr.cfg.Episodes = func(ctx context.Context, b EpisodeBatch) ([]EpisodeResult, error) {
+		results := make([]EpisodeResult, len(b.Seeds))
+		for i := len(b.Seeds) - 1; i >= 0; i-- {
+			r := RunEpisode(tr.cfg, b.Cur.Clone(), b.Best.Clone(), b.Seeds[i])
+			if r.Err == nil {
+				wire, err := EncodeSamples(r.Samples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Samples, err = DecodeSamples(wire)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	trStats := runIters(t, tr, 2)
+	for i := range refStats {
+		if refStats[i] != trStats[i] {
+			t.Errorf("iteration %d stats diverged:\n  in-process %+v\n  backend    %+v", i+1, refStats[i], trStats[i])
+		}
+	}
+	if !bytes.Equal(encodeBytes(t, ref), encodeBytes(t, tr)) {
+		t.Error("EncodeState diverged between in-process pool and episode backend")
+	}
+}
+
+// TestEpisodeBackendPartialCommitResumes cuts the backend off after a
+// three-episode prefix (the distributed shape of a coordinator SIGINT
+// or a dead worker fleet): the trainer must pend at the prefix
+// boundary, survive a checkpoint round trip, and finish byte-identical
+// to an uninterrupted sequential run.
+func TestEpisodeBackendPartialCommitResumes(t *testing.T) {
+	const total = 3
+	ref := poolTrainer(t, 36, 1)
+	refStats := runIters(t, ref, total)
+
+	a := poolTrainer(t, 36, 1)
+	armed := false
+	backend := func(ctx context.Context, b EpisodeBatch) ([]EpisodeResult, error) {
+		n := len(b.Seeds)
+		var err error
+		if armed && n > 3 {
+			n, err = 3, context.Canceled
+			armed = false
+		}
+		results := make([]EpisodeResult, n)
+		for i := 0; i < n; i++ {
+			results[i] = RunEpisode(a.cfg, b.Cur.Clone(), b.Best.Clone(), b.Seeds[i])
+		}
+		return results, err
+	}
+	a.cfg.Episodes = backend
+	runIters(t, a, 1)
+	armed = true
+	if _, err := a.RunIteration(context.Background()); err != context.Canceled || !a.Interrupted() {
+		t.Fatalf("partial backend commit: err=%v interrupted=%v", err, a.Interrupted())
+	}
+	if a.pendingEpisode != 3 {
+		t.Fatalf("pendingEpisode = %d, want 3", a.pendingEpisode)
+	}
+
+	b := poolTrainer(t, 36, 1)
+	firstBatch := true
+	b.cfg.Episodes = func(ctx context.Context, batch EpisodeBatch) ([]EpisodeResult, error) {
+		if firstBatch && batch.Start != 3 {
+			t.Errorf("resumed batch starts at %d, want 3", batch.Start)
+		}
+		firstBatch = false
+		results := make([]EpisodeResult, len(batch.Seeds))
+		for i := range batch.Seeds {
+			results[i] = RunEpisode(b.cfg, batch.Cur.Clone(), batch.Best.Clone(), batch.Seeds[i])
+		}
+		return results, nil
+	}
+	if err := b.DecodeState(encodeBytes(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Interrupted() {
+		t.Fatal("pending iteration lost in the checkpoint round trip")
+	}
+	bStats := runIters(t, b, total-1)
+	for i, want := range refStats[1:] {
+		if bStats[i] != want {
+			t.Errorf("iteration %d stats diverged after backend resume: %+v vs %+v", i+2, bStats[i], want)
+		}
+	}
+	if !bytes.Equal(encodeBytes(t, ref), encodeBytes(t, b)) {
+		t.Error("EncodeState diverged between sequential run and backend partial-commit resume")
+	}
+}
+
+// TestEpisodeBackendShortReturnIsAnError pins the backend contract: a
+// backend that silently under-returns without an error must not be
+// treated as a completed batch.
+func TestEpisodeBackendShortReturnIsAnError(t *testing.T) {
+	tr := poolTrainer(t, 37, 1)
+	tr.cfg.Episodes = func(ctx context.Context, b EpisodeBatch) ([]EpisodeResult, error) {
+		results := make([]EpisodeResult, 2)
+		for i := range results {
+			results[i] = RunEpisode(tr.cfg, b.Cur.Clone(), b.Best.Clone(), b.Seeds[i])
+		}
+		return results, nil
+	}
+	_, err := tr.RunIteration(context.Background())
+	if err == nil {
+		t.Fatal("short backend return accepted as a completed batch")
+	}
+	if !tr.Interrupted() {
+		t.Fatal("short backend return did not pend the iteration")
+	}
+	if tr.pendingEpisode != 2 {
+		t.Fatalf("pendingEpisode = %d, want 2 (the committed prefix)", tr.pendingEpisode)
+	}
+}
+
 // TestParallelSkipsPanickedEpisodesIdentically makes the generator
 // panic on a seed-determined subset of episodes: the skip accounting
 // and the surviving state must still be independent of the worker

@@ -86,6 +86,13 @@ type Config struct {
 	// concurrent calls (derive all randomness from the rng it is
 	// handed).
 	Workers int
+	// Episodes optionally delegates the episode phase of each
+	// iteration to an external backend — internal/dist's coordinator
+	// hands the batch out to remote workers lease by lease. Nil plays
+	// episodes in process on the Workers pool. See EpisodeBackend for
+	// the contract that keeps a backend-driven run bit-identical to a
+	// sequential one. Arena games always run in process.
+	Episodes EpisodeBackend
 	// Generate produces the episode graph distribution (paper:
 	// Erdős–Rényi with normally distributed n). Required.
 	Generate func(rng *rand.Rand) *pbqp.Graph
@@ -139,6 +146,40 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// EpisodeResult is the outcome of one self-play episode: the reward of
+// the training run against the best player, the collected training
+// tuples (Z still unset — the merge stamps it), and the recovered
+// panic, if any, that made the episode unusable (the merge counts it
+// as skipped).
+type EpisodeResult struct {
+	Z       float64
+	Samples []Sample
+	Err     error
+}
+
+// EpisodeBatch is the unit of work handed to an EpisodeBackend: the
+// seeds of episodes [Start, Start+len(Seeds)) of the iteration, plus
+// the two networks frozen for its duration. Seed i fully determines
+// episode Start+i; the backend may play the episodes anywhere, in any
+// order, on bit-exact copies of the networks (RunEpisode is the
+// reference implementation).
+type EpisodeBatch struct {
+	Iteration int
+	Start     int
+	Seeds     []int64
+	Cur, Best *net.PBQPNet
+}
+
+// EpisodeBackend runs an episode batch on behalf of the trainer. It
+// must return results for a prefix of the batch in episode order: all
+// of them with a nil error (batch complete), or the committed prefix
+// plus the reason dispatch stopped — typically ctx.Err(). The trainer
+// merges the prefix and rewinds its master RNG over the remainder,
+// exactly as the in-process pool does on cancellation, so the run
+// resumes bit-identically however the batch was scheduled or where it
+// was cut short.
+type EpisodeBackend func(ctx context.Context, batch EpisodeBatch) ([]EpisodeResult, error)
 
 // IterStats summarizes one training iteration.
 type IterStats struct {
@@ -282,8 +323,8 @@ func (t *Trainer) RunIteration(ctx context.Context) (IterStats, error) {
 		t.iter++
 		stats = IterStats{Iteration: t.iter, Episodes: t.cfg.EpisodesPerIter}
 	}
-	if t.cfg.Workers > 1 {
-		next, err := t.runEpisodesParallel(ctx, start, &stats)
+	if t.cfg.Episodes != nil || t.cfg.Workers > 1 {
+		next, err := t.runEpisodesBatch(ctx, start, &stats)
 		if err != nil {
 			snap := stats
 			t.pending, t.pendingEpisode = &snap, next
@@ -345,17 +386,18 @@ func (t *Trainer) recordEpisode(stats *IterStats, e int, z float64, samples []Sa
 	stats.Samples += len(samples)
 }
 
-// runEpisodesParallel plays episodes [start, EpisodesPerIter) on the
-// worker pool and merges the results in episode order. All episode
-// seeds are pre-drawn from the master stream in episode order, so a
-// completed loop leaves the stream exactly where the sequential loop
-// would. On cancellation, dispatching stops, in-flight episodes finish
-// and are committed, and the stream is rewound to cover exactly the
-// committed prefix — so the returned resume position carries the same
-// pendingEpisode semantics as the sequential loop and a resumed run
-// stays bit-identical. The returned error is ctx's error, nil when the
-// loop completed.
-func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *IterStats) (int, error) {
+// runEpisodesBatch plays episodes [start, EpisodesPerIter) — on the
+// in-process worker pool, or through the external Episodes backend —
+// and merges the results in episode order. All episode seeds are
+// pre-drawn from the master stream in episode order, so a completed
+// batch leaves the stream exactly where the sequential loop would. On
+// cancellation (or a backend failure), the committed results cover an
+// in-order prefix of the batch and the stream is rewound to exactly
+// that prefix's seeds — so the returned resume position carries the
+// same pendingEpisode semantics as the sequential loop and a resumed
+// run stays bit-identical. The returned error is nil only when the
+// batch completed.
+func (t *Trainer) runEpisodesBatch(ctx context.Context, start int, stats *IterStats) (int, error) {
 	total := t.cfg.EpisodesPerIter
 	if start >= total {
 		return total, nil
@@ -371,22 +413,35 @@ func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *Ite
 	for i := range seeds {
 		seeds[i] = t.rng.Int63()
 	}
-	type outcome struct {
-		z       float64
-		samples []Sample
-		err     error
-	}
-	results, dispatched := runParallel(ctx, t.cfg.Workers, len(seeds),
-		func() (cur, best *net.PBQPNet) { return t.cur.Clone(), t.best.Clone() },
-		func(cur, best *net.PBQPNet, i int) outcome {
-			z, samples, err := runEpisode(&t.cfg, cur, best, seeds[i])
-			return outcome{z, samples, err}
+	var results []EpisodeResult
+	var batchErr error
+	if t.cfg.Episodes != nil {
+		results, batchErr = t.cfg.Episodes(ctx, EpisodeBatch{
+			Iteration: stats.Iteration, Start: start, Seeds: seeds,
+			Cur: t.cur, Best: t.best,
 		})
-	for i := 0; i < dispatched; i++ {
-		r := results[i]
-		t.recordEpisode(stats, start+i, r.z, r.samples, r.err)
+		if len(results) > len(seeds) {
+			results = results[:len(seeds)]
+		}
+		if batchErr == nil && len(results) < len(seeds) {
+			batchErr = fmt.Errorf("selfplay: episode backend returned %d of %d results without an error", len(results), len(seeds))
+		}
+	} else {
+		all, dispatched := runParallel(ctx, t.cfg.Workers, len(seeds),
+			func() (cur, best *net.PBQPNet) { return t.cur.Clone(), t.best.Clone() },
+			func(cur, best *net.PBQPNet, i int) EpisodeResult {
+				z, samples, err := runEpisode(&t.cfg, cur, best, seeds[i])
+				return EpisodeResult{Z: z, Samples: samples, Err: err}
+			})
+		results = all[:dispatched]
+		if dispatched < len(seeds) {
+			batchErr = ctx.Err()
+		}
 	}
-	if dispatched == len(seeds) {
+	for i, r := range results {
+		t.recordEpisode(stats, start+i, r.Z, r.Samples, r.Err)
+	}
+	if batchErr == nil {
 		return total, nil
 	}
 	// interrupted: rewind the master stream to exactly the seeds of the
@@ -395,10 +450,23 @@ func (t *Trainer) runEpisodesParallel(ctx context.Context, start int, stats *Ite
 		//pbqpvet:ignore panicfree PCG state rewind cannot fail; losing it silently would forfeit the bit-identical resume guarantee
 		panic("selfplay: rewind master RNG: " + err.Error())
 	}
-	for i := 0; i < dispatched; i++ {
+	for range results {
 		t.rng.Int63()
 	}
-	return start + dispatched, ctx.Err()
+	return start + len(results), batchErr
+}
+
+// RunEpisode plays one self-play episode exactly as the trainer's own
+// loops do — it is the reference implementation an EpisodeBackend's
+// remote workers run. Zero Config fields take the same defaults the
+// trainer applies, so a worker handed the coordinator's (pre-default)
+// Config produces bit-identical episodes. cur and best are mutated
+// only through their inference caches; they must not be shared across
+// concurrent calls.
+func RunEpisode(cfg Config, cur, best *net.PBQPNet, seed int64) EpisodeResult {
+	cfg = cfg.withDefaults()
+	z, samples, err := runEpisode(&cfg, cur, best, seed)
+	return EpisodeResult{Z: z, Samples: samples, Err: err}
 }
 
 // runEpisode plays one self-play episode pair (best, then current, on

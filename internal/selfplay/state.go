@@ -120,6 +120,36 @@ func thawSample(rs replaySample) Sample {
 	return Sample{View: gcn.View(v), Pi: rs.Pi, Z: rs.Z}
 }
 
+// EncodeSamples serializes training samples for transport between
+// distributed self-play workers and the coordinator. It uses the same
+// frozen form as checkpoints (sorted neighbor order, gob), so the
+// encoding is deterministic and a decoded sample trains bit-identically
+// to the live snapshot it came from.
+func EncodeSamples(samples []Sample) ([]byte, error) {
+	frozen := make([]replaySample, 0, len(samples))
+	for _, s := range samples {
+		frozen = append(frozen, freezeSample(s))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(frozen); err != nil {
+		return nil, fmt.Errorf("selfplay: encode samples: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSamples reverses EncodeSamples.
+func DecodeSamples(data []byte) ([]Sample, error) {
+	var frozen []replaySample
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&frozen); err != nil {
+		return nil, fmt.Errorf("selfplay: decode samples: %w", err)
+	}
+	samples := make([]Sample, 0, len(frozen))
+	for _, rs := range frozen {
+		samples = append(samples, thawSample(rs))
+	}
+	return samples, nil
+}
+
 // EncodeState serializes the full trainer state. It refuses to encode a
 // diverged (NaN/Inf) network so that a poisoned state can never reach a
 // checkpoint.

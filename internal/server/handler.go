@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"pbqprl/internal/failpoint"
 	"pbqprl/internal/pbqp"
 	"pbqprl/internal/solve"
 	"pbqprl/internal/solve/portfolio"
@@ -82,8 +83,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(sw, http.StatusMethodNotAllowed, "POST a PBQP graph in the textual format")
 		return
 	}
-	if s.adm.isDraining() {
-		sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	if s.adm.IsDraining() {
+		sw.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter()))
 		s.writeError(sw, http.StatusServiceUnavailable, "server is draining; retry elsewhere")
 		return
 	}
@@ -133,34 +134,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		stats      portfolio.Stats
 		solveStart time.Time
 	)
-	j := newJob(func() {
+	j := NewJob(func() {
 		solveStart = now()
 		s.reg.Gauge("requests_inflight").Add(1)
 		defer s.reg.Gauge("requests_inflight").Add(-1)
+		// Test fault injection: arming server/solve with a panic or
+		// delay action drives the worker-panic and slow-drain paths
+		// end-to-end without a bespoke MakeSolver stub.
+		_ = failpoint.Hit("server/solve")
 		res, stats = p.SolveStats(ctx, g)
 	})
 	queued := now()
-	if err := s.adm.submit(j); err != nil {
+	if err := s.adm.Submit(j); err != nil {
 		switch {
-		case errors.Is(err, errQueueFull):
-			sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		case errors.Is(err, ErrQueueFull):
+			sw.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter()))
 			s.reg.Counter("requests_shed_total").Inc()
 			s.writeError(sw, http.StatusTooManyRequests, "queue full; retry after backoff")
 		default:
-			sw.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			sw.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter()))
 			s.writeError(sw, http.StatusServiceUnavailable, "server is draining; retry elsewhere")
 		}
 		return
 	}
-	<-j.done
+	<-j.Done()
 
-	if j.panicked {
+	if panicked, val, stack := j.Panicked(); panicked {
 		// Mirror the portfolio's repro logging for panics that escape
 		// it (the portfolio already isolates per-stage panics; this
-		// catches everything else on the worker).
+		// catches everything else on the worker). The serialization is
+		// capped: a max-dimension hostile graph must not be able to
+		// blow up the log pipeline.
 		s.reg.Counter("solve_panics_total").Inc()
 		s.cfg.Logf("server: solve panicked: %s\ngraph for repro:\n%s\n%s",
-			j.panicVal, g.String(), j.stack)
+			val, pbqp.Elide(g.String(), maxGraphLogBytes), stack)
 		s.writeError(sw, http.StatusInternalServerError, "solver panicked; the graph was logged for reproduction")
 		return
 	}
@@ -231,6 +238,42 @@ func (s *Server) parseKnobs(r *http.Request) (chain []string, deadline time.Dura
 		return nil, 0, false, errors.New(`cost-mode wants "zeroinf" or "spill"`)
 	}
 	return chain, deadline, stopOnFeasible, nil
+}
+
+// maxGraphLogBytes caps graph serializations written to the log for
+// offline reproduction; past it the tail is elided with a byte count.
+const maxGraphLogBytes = 64 << 10
+
+// retryAfter derives the Retry-After hint for 429/503 answers from the
+// server's current load via RetryAfterHint; cfg.RetryAfter is the
+// floor.
+func (s *Server) retryAfter() time.Duration {
+	return RetryAfterHint(s.cfg.RetryAfter, s.adm.Depth(), s.cfg.Workers)
+}
+
+// RetryAfterHint scales a configured floor hint by queue pressure:
+// with depth jobs queued ahead of a new arrival and workers draining
+// them, ceil(depth/workers) "queue generations" must clear before a
+// retry can be admitted, and each generation needs at least one
+// service time — for which the floor stands in as a conservative
+// unit. An idle queue returns the floor unchanged; the hint is capped
+// at one minute so a deeply backed-up server still invites retries
+// within the window a client plausibly waits. Exported for the
+// distributed-training coordinator, whose lease endpoints shed load
+// the same way and whose worker clients honor the header.
+func RetryAfterHint(floor time.Duration, depth, workers int) time.Duration {
+	if floor <= 0 {
+		floor = time.Second
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	generations := (depth + workers - 1) / workers
+	hint := floor * time.Duration(1+generations)
+	if max := time.Minute; hint > max {
+		hint = max
+	}
+	return hint
 }
 
 // retryAfterSeconds renders a Retry-After header value (whole seconds,

@@ -146,7 +146,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	reg *metrics.Registry
-	adm *admission
+	adm *Admission
 	mux *http.ServeMux
 }
 
@@ -162,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg,
 		reg: cfg.Registry,
-		adm: newAdmission(cfg.Workers, cfg.QueueDepth),
+		adm: NewAdmission(cfg.Workers, cfg.QueueDepth),
 		mux: http.NewServeMux(),
 	}
 	s.reg.Gauge("queue_depth").Set(0)
@@ -186,7 +186,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Draining reports whether the server has begun draining.
-func (s *Server) Draining() bool { return s.adm.isDraining() }
+func (s *Server) Draining() bool { return s.adm.IsDraining() }
 
 // Drain gracefully shuts the solve path down: admission flips to
 // draining (new solves and readyz answer 503), every accepted request
@@ -196,8 +196,8 @@ func (s *Server) Draining() bool { return s.adm.isDraining() }
 // Drain returns so late health probes get answers during the drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.cfg.Logf("server: draining (in flight: %d queued: %d)",
-		s.reg.Gauge("requests_inflight").Value(), s.adm.depth())
-	err := s.adm.drain(ctx)
+		s.reg.Gauge("requests_inflight").Value(), s.adm.Depth())
+	err := s.adm.Drain(ctx)
 	if err != nil {
 		s.cfg.Logf("server: drain incomplete: %v", err)
 		return err
@@ -211,7 +211,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // racing Gauge.Set could persist a stale pre-dequeue snapshot, whereas
 // sampling at scrape time always reflects the queue as it is now.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.reg.Gauge("queue_depth").Set(int64(s.adm.depth()))
+	s.reg.Gauge("queue_depth").Set(int64(s.adm.Depth()))
 	s.reg.ServeHTTP(w, r)
 }
 
@@ -221,14 +221,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"draining": s.adm.isDraining(),
+		"draining": s.adm.IsDraining(),
 	})
 }
 
 // handleReadyz answers readiness: 200 while accepting, 503 once
 // draining so load balancers stop routing new work here.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.adm.isDraining() {
+	if s.adm.IsDraining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}

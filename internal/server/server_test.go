@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pbqprl/internal/cost"
+	"pbqprl/internal/failpoint"
 	"pbqprl/internal/pbqp"
 	"pbqprl/internal/solve"
 )
@@ -330,7 +331,7 @@ func TestGracefulDrain(t *testing.T) {
 	g.waitStarted(t, 2) // both workers busy...
 	// ...and every other request admitted to the queue, so the drain
 	// below owes all six of them a real answer.
-	waitFor(t, func() bool { return s.adm.depth() == inflight-2 }, "remaining requests to queue")
+	waitFor(t, func() bool { return s.adm.Depth() == inflight-2 }, "remaining requests to queue")
 
 	drainDone := make(chan error, 1)
 	go func() {
@@ -426,7 +427,7 @@ func TestLoadShedding(t *testing.T) {
 			codes <- post(s.Handler(), fig2, "", nil).Code
 		}()
 	}
-	waitFor(t, func() bool { return s.adm.depth() == 2 }, "queue to fill")
+	waitFor(t, func() bool { return s.adm.Depth() == 2 }, "queue to fill")
 
 	// Everything beyond capacity is shed synchronously with 429.
 	before := numGoroutines()
@@ -435,8 +436,10 @@ func TestLoadShedding(t *testing.T) {
 		if rec.Code != http.StatusTooManyRequests {
 			t.Fatalf("request %d past capacity: status %d, want 429", i, rec.Code)
 		}
-		if ra := rec.Header().Get("Retry-After"); ra != "7" {
-			t.Fatalf("Retry-After %q, want \"7\"", ra)
+		// Adaptive hint: 2 queued jobs behind 1 worker is two full
+		// drain generations past the floor, so 7s * (1+2) = 21s.
+		if ra := rec.Header().Get("Retry-After"); ra != "21" {
+			t.Fatalf("Retry-After %q, want \"21\"", ra)
 		}
 	}
 	if after := numGoroutines(); after > before+3 {
@@ -615,41 +618,41 @@ func TestMetricsSchema(t *testing.T) {
 }
 
 func TestAdmissionStateMachine(t *testing.T) {
-	a := newAdmission(2, 4)
-	j := newJob(func() {})
-	if err := a.submit(j); err != nil {
+	a := NewAdmission(2, 4)
+	j := NewJob(func() {})
+	if err := a.Submit(j); err != nil {
 		t.Fatalf("submit while accepting: %v", err)
 	}
-	<-j.done
+	<-j.Done()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := a.drain(ctx); err != nil {
+	if err := a.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	if err := a.submit(newJob(func() {})); err != errDraining {
-		t.Fatalf("submit after drain: %v, want errDraining", err)
+	if err := a.Submit(NewJob(func() {})); err != ErrDraining {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
 	}
-	if err := a.drain(ctx); err == nil {
+	if err := a.Drain(ctx); err == nil {
 		t.Fatal("second drain did not error")
 	}
 }
 
 func TestAdmissionQueueFull(t *testing.T) {
-	a := newAdmission(1, 1)
+	a := NewAdmission(1, 1)
 	block := make(chan struct{})
-	running := newJob(func() { <-block })
-	if err := a.submit(running); err != nil {
+	running := NewJob(func() { <-block })
+	if err := a.Submit(running); err != nil {
 		t.Fatal(err)
 	}
 	// The single worker may not have picked the job up yet; admit jobs
 	// until the queue reports full, then assert it stays full.
-	var queued []*job
+	var queued []*Job
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		j := newJob(func() { <-block })
-		err := a.submit(j)
-		if err == errQueueFull && a.depth() == 1 {
+		j := NewJob(func() { <-block })
+		err := a.Submit(j)
+		if err == ErrQueueFull && a.Depth() == 1 {
 			break
 		}
 		if err == nil {
@@ -659,17 +662,17 @@ func TestAdmissionQueueFull(t *testing.T) {
 			t.Fatalf("queue of depth 1 admitted %d jobs", len(queued))
 		}
 	}
-	if err := a.submit(newJob(func() {})); err != errQueueFull {
-		t.Fatalf("submit past capacity: %v, want errQueueFull", err)
+	if err := a.Submit(NewJob(func() {})); err != ErrQueueFull {
+		t.Fatalf("submit past capacity: %v, want ErrQueueFull", err)
 	}
 	close(block)
-	<-running.done
+	<-running.Done()
 	for _, j := range queued {
-		<-j.done
+		<-j.Done()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := a.drain(ctx); err != nil {
+	if err := a.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -681,25 +684,25 @@ func TestAdmissionQueueFull(t *testing.T) {
 // maximize that window; a rejected (queue-full) submit must also leave
 // the counter balanced or the final drain hangs.
 func TestAdmissionSubmitCompleteRace(t *testing.T) {
-	a := newAdmission(4, 2)
+	a := NewAdmission(4, 2)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				j := newJob(func() {})
-				if err := a.submit(j); err != nil {
+				j := NewJob(func() {})
+				if err := a.Submit(j); err != nil {
 					continue // shed under contention; must not leak a WaitGroup Add
 				}
-				<-j.done
+				<-j.Done()
 			}
 		}()
 	}
 	wg.Wait()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := a.drain(ctx); err != nil {
+	if err := a.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -716,4 +719,57 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFailpointSolvePanic drives the worker-level panic isolation
+// through the server/solve failpoint instead of a bespoke panicking
+// solver: the same injection point the chaos CI stage arms.
+func TestFailpointSolvePanic(t *testing.T) {
+	if err := failpoint.Enable("server/solve", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable("server/solve")
+	var logged atomic.Value
+	s := newTestServer(t, Config{
+		Logf: func(format string, args ...any) {
+			logged.Store(fmt.Sprintf(format, args...))
+		},
+	})
+	rec := post(s.Handler(), fig2, "", nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", rec.Code, rec.Body.Bytes())
+	}
+	msg, _ := logged.Load().(string)
+	if !strings.Contains(msg, "injected panic at server/solve") || !strings.Contains(msg, "pbqp 3 2") {
+		t.Fatalf("panic log misses failpoint panic value or graph repro:\n%s", msg)
+	}
+	if c := s.Registry().Counter("solve_panics_total").Value(); c != 1 {
+		t.Fatalf("solve_panics_total = %d, want 1", c)
+	}
+	// Disarmed, the same request solves normally.
+	failpoint.Disable("server/solve")
+	if rec := post(s.Handler(), fig2, "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("disarmed request: %d, want 200", rec.Code)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		floor          time.Duration
+		depth, workers int
+		want           time.Duration
+	}{
+		{7 * time.Second, 0, 1, 7 * time.Second},  // empty queue: the floor
+		{7 * time.Second, 2, 1, 21 * time.Second}, // two generations queued
+		{7 * time.Second, 2, 4, 14 * time.Second}, // more workers drain faster
+		{0, 0, 1, time.Second},                    // unset floor defaults to 1s
+		{0, 3, 0, 4 * time.Second},                // workers clamped to 1
+		{30 * time.Second, 100, 1, time.Minute},   // capped at one minute
+	}
+	for _, c := range cases {
+		if got := RetryAfterHint(c.floor, c.depth, c.workers); got != c.want {
+			t.Errorf("RetryAfterHint(%v, %d, %d) = %v, want %v",
+				c.floor, c.depth, c.workers, got, c.want)
+		}
+	}
 }

@@ -205,6 +205,10 @@ func (s *Solver) SolveStats(ctx context.Context, g *pbqp.Graph) (solve.Result, S
 	return best, stats
 }
 
+// maxGraphLogBytes caps the repro serialization in panic logs; graphs
+// past this size are elided rather than flooding the log.
+const maxGraphLogBytes = 64 << 10
+
 // runStage runs one solver under its stage context, converting a panic
 // into a recovered failure. The graph is cloned first so a stage that
 // dies mid-mutation (or violates the no-mutate contract) cannot poison
@@ -216,7 +220,7 @@ func runStage(ctx context.Context, sv solve.Solver, g *pbqp.Graph, logf func(str
 			panicVal = fmt.Sprint(r)
 			res = solve.Result{Cost: cost.Inf}
 			logf("portfolio: stage %q panicked: %v\ngraph for repro:\n%s\n%s",
-				sv.Name(), r, g.String(), debug.Stack())
+				sv.Name(), r, pbqp.Elide(g.String(), maxGraphLogBytes), debug.Stack())
 		}
 	}()
 	return solve.SolveCtx(ctx, sv, g.Clone()), false, ""
