@@ -2,7 +2,7 @@ package analysis
 
 // All returns every analyzer in the suite, in report-name order.
 func All() []*Analyzer {
-	return []*Analyzer{CostArith, CtxPoll, Determinism, FloatCmp, PanicFree}
+	return []*Analyzer{CostArith, CtxPoll, Determinism, FloatCmp, HotAlloc, PanicFree}
 }
 
 // ByName resolves a comma-separable analyzer name, or nil.

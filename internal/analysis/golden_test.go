@@ -40,6 +40,7 @@ func TestGolden(t *testing.T) {
 		{"costarith", []*Analyzer{CostArith}},
 		{"ctxpoll", []*Analyzer{CtxPoll}},
 		{"floatcmp", []*Analyzer{FloatCmp}},
+		{"hotalloc", []*Analyzer{HotAlloc}},
 		{"panicfree", []*Analyzer{PanicFree}},
 		{"suppress", []*Analyzer{FloatCmp, PanicFree}},
 	}

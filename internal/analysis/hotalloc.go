@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathMarker designates a function as an allocation-free hot path
+// root when it appears as a line of the function's doc comment:
+//
+//	//pbqpvet:hotpath
+//
+// The marker is a promise the inference benchmarks rely on: the
+// function and everything it reaches through same-package static calls
+// run per evaluation, so a stray allocating tensor call there turns
+// the alloc-free engine back into a GC treadmill.
+const hotpathMarker = "pbqpvet:hotpath"
+
+// HotAlloc flags allocating tensor calls — tensor.NewVec, tensor.NewMat,
+// the allocating Vec/Mat methods (Clone, Add, MulVec, MulTVec), and
+// make(tensor.Vec, ...) (the inlined spelling of NewVec) — inside
+// functions reachable from a //pbqpvet:hotpath root through
+// same-package static calls. Hot paths own reusable scratch and call
+// the Into variants; deliberate warm-up allocations (grow-once scratch,
+// cache fills) carry //pbqpvet:ignore hotalloc suppressions with their
+// amortization argument.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions reachable from a //pbqpvet:hotpath root must not call " +
+		"allocating tensor constructors or methods; use scratch buffers and Into variants",
+	Run: runHotAlloc,
+}
+
+// allocatingTensorFuncs are the internal/tensor functions and methods
+// that allocate their result. The in-place API (AddInPlace, AddScaled,
+// Scale, Zero, AddMulVec, the Into variants, Row) is the hot-path
+// replacement and stays silent.
+var allocatingTensorFuncs = map[string]bool{
+	"NewVec":  true,
+	"NewMat":  true,
+	"Clone":   true,
+	"Add":     true,
+	"MulVec":  true,
+	"MulTVec": true,
+}
+
+func runHotAlloc(pass *Pass) error {
+	c := &hotChecker{
+		pass:    pass,
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		checked: map[*ast.FuncDecl]bool{},
+	}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[obj] = fd
+			if hasHotpathMarker(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	for _, root := range roots {
+		for _, fd := range c.reachable(root) {
+			c.checkAllocs(fd)
+		}
+	}
+	return nil
+}
+
+// hasHotpathMarker reports whether fd's doc comment contains a
+// //pbqpvet:hotpath line.
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, cm := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(cm.Text, "//")) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+type hotChecker struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	checked map[*ast.FuncDecl]bool
+}
+
+// reachable returns the same-package function declarations reachable
+// from root through static calls, root included.
+func (c *hotChecker) reachable(root *types.Func) []*ast.FuncDecl {
+	seen := map[*types.Func]bool{root: true}
+	queue := []*types.Func{root}
+	var out []*ast.FuncDecl
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd, ok := c.decls[fn]
+		if !ok {
+			continue
+		}
+		out = append(out, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := pkgFunc(c.pass.Info, call); callee != nil && !seen[callee] {
+					if _, local := c.decls[callee]; local {
+						seen[callee] = true
+						queue = append(queue, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkAllocs reports every allocating tensor call in fd. Each
+// declaration is checked once even when it is reachable from several
+// hot-path roots.
+func (c *hotChecker) checkAllocs(fd *ast.FuncDecl) {
+	if c.checked[fd] {
+		return
+	}
+	c.checked[fd] = true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) > 0 {
+			if _, builtin := c.pass.Info.Uses[id].(*types.Builtin); builtin {
+				if t := c.pass.TypeOf(call.Args[0]); t != nil && isNamedType(t, "internal/tensor", "Vec") {
+					c.pass.Reportf(call.Pos(),
+						"make(tensor.Vec, ...) allocates on a //pbqpvet:hotpath-reachable path; reuse a scratch buffer or an Into variant")
+				}
+			}
+			return true
+		}
+		fn := pkgFunc(c.pass.Info, call)
+		if fn == nil || !allocatingTensorFuncs[fn.Name()] {
+			return true
+		}
+		if p := funcPath(fn); p != "internal/tensor" && !strings.HasSuffix(p, "/internal/tensor") {
+			return true
+		}
+		c.pass.Reportf(call.Pos(),
+			"%s allocates on a //pbqpvet:hotpath-reachable path; reuse a scratch buffer or an Into variant",
+			tensorCallLabel(fn))
+		return true
+	})
+}
+
+// tensorCallLabel renders fn as tensor.NewVec or (tensor.Mat).MulVec.
+func tensorCallLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return "(tensor." + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return "tensor." + fn.Name()
+}

@@ -1,0 +1,57 @@
+// Package hotalloc is a golden fixture for the hotalloc analyzer:
+// allocating tensor calls in functions reachable from a
+// //pbqpvet:hotpath root.
+package hotalloc
+
+import "pbqprl/internal/tensor"
+
+// infer is a hot-path root; its own allocations and those of every
+// same-package callee are flagged.
+//
+//pbqpvet:hotpath
+func infer(x tensor.Vec, m *tensor.Mat) tensor.Vec {
+	v := tensor.NewVec(len(x))     // want "tensor.NewVec allocates"
+	w := make(tensor.Vec, len(x))  // want "make(tensor.Vec, ...) allocates"
+	_ = make([]float64, len(x))    // plain slice: silent
+	_ = make([]tensor.Vec, len(x)) // slice of headers: silent
+	v.AddInPlace(w)                // in-place API: silent
+	m.MulVecInto(v, x)             // Into variant: silent
+	return helper(v, m)
+}
+
+// helper is reachable from infer through a static call.
+func helper(v tensor.Vec, m *tensor.Mat) tensor.Vec {
+	w := m.MulVec(v) // want "(tensor.Mat).MulVec allocates"
+	return w.Add(v)  // want "(tensor.Vec).Add allocates"
+}
+
+// viaClosure allocates inside a function literal, still within the
+// root's body.
+//
+//pbqpvet:hotpath
+func viaClosure(v tensor.Vec) tensor.Vec {
+	f := func() tensor.Vec { return v.Clone() } // want "(tensor.Vec).Clone allocates"
+	return f()
+}
+
+// engine.run is a method root: methods carry the marker the same way.
+type engine struct{ scratch tensor.Vec }
+
+//pbqpvet:hotpath
+func (e *engine) run(m *tensor.Mat) tensor.Vec {
+	return m.MulTVec(e.scratch) // want "(tensor.Mat).MulTVec allocates"
+}
+
+// suppressed documents an accepted grow-once allocation.
+//
+//pbqpvet:hotpath
+func suppressed(r, c int) *tensor.Mat {
+	//pbqpvet:ignore hotalloc grow-once scratch, amortized across the run
+	return tensor.NewMat(r, c)
+}
+
+// cold is reachable from no hot-path root; it may allocate freely.
+func cold(v tensor.Vec) tensor.Vec {
+	u := v.Clone()
+	return u.Add(v)
+}

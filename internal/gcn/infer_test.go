@@ -1,0 +1,166 @@
+package gcn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/randgraph"
+	"pbqprl/internal/tensor"
+)
+
+func zeroInfView(seed int64, n, m int) View {
+	rng := rand.New(rand.NewSource(seed))
+	g, _ := randgraph.ZeroInf(rng, randgraph.ZeroInfConfig{
+		N: n, M: m, PEdge: 0.4, HardRatio: 0.4, PEdgeInf: 0.3,
+	})
+	return NewGraphView(g)
+}
+
+func TestBuildKernelKinds(t *testing.T) {
+	mk := func(vals ...float64) *tensor.Mat {
+		m := tensor.NewMat(2, 2)
+		copy(m.W, vals)
+		return m
+	}
+	cases := []struct {
+		mat  *tensor.Mat
+		kind int
+	}{
+		{mk(0, 0, 0, 0), kZero},
+		{mk(infFeature, 0, 0, 0), kBinary},
+		{mk(infFeature, 0, 0, infFeature), kBinary},
+		{mk(0.5, 0, 0, 0), kSparse},
+		{mk(infFeature, 0.5, 0, 0), kSparse},
+		{mk(0.5, 0.25, 0.125, 0), kDense},
+		{mk(infFeature, infFeature, infFeature, 0), kDense},
+	}
+	for i, c := range cases {
+		if k := buildKernel(c.mat); k.kind != c.kind {
+			t.Errorf("case %d: kind = %d, want %d", i, k.kind, c.kind)
+		}
+	}
+}
+
+// TestKernelAddMulVecBitIdentical drives every kernel kind against the
+// scalar AddMulVec it replaces, accumulating twice into the same
+// destination the way the message pass does.
+func TestKernelAddMulVecBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		r := 1 + rng.Intn(9)
+		c := 1 + rng.Intn(9)
+		m := tensor.NewMat(r, c)
+		switch trial % 4 {
+		case 0: // zero matrix
+		case 1: // binary {0, infFeature}
+			for i := range m.W {
+				if rng.Float64() < 0.3 {
+					m.W[i] = infFeature
+				}
+			}
+		case 2: // sparse general values
+			for i := range m.W {
+				if rng.Float64() < 0.3 {
+					m.W[i] = rng.NormFloat64()
+				}
+			}
+		default: // dense
+			for i := range m.W {
+				m.W[i] = rng.NormFloat64()
+			}
+		}
+		x := make(tensor.Vec, c)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make(tensor.Vec, r)
+		got := make(tensor.Vec, r)
+		k := buildKernel(m)
+		for pass := 0; pass < 2; pass++ {
+			m.AddMulVec(want, x)
+			k.addMulVec(got, x)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d (kind %d) row %d: got %x want %x",
+					trial, k.kind, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestInferBitIdenticalToForward is the engine's core contract: Infer
+// equals Forward bit for bit, across mixed finite/infinite graphs,
+// zero/infinity graphs, every n mod 4 residue, and repeated calls on
+// one Scratch so the kernel and h⁰ cache hit paths are exercised.
+func TestInferBitIdenticalToForward(t *testing.T) {
+	sc := &Scratch{}
+	views := []View{
+		testView(t, 41, 1, 3),
+		testView(t, 42, 2, 3),
+		testView(t, 43, 5, 4),
+		testView(t, 44, 8, 4),
+		testView(t, 45, 11, 5),
+		zeroInfView(46, 13, 6),
+		zeroInfView(47, 19, 6),
+	}
+	for vi, view := range views {
+		g := New(rand.New(rand.NewSource(int64(50+vi))), view.M(), 3)
+		sc.InvalidateWeights() // the scratch switches networks: drop weight-derived caches
+		want := g.Forward(view)
+		for pass := 0; pass < 2; pass++ { // second pass runs fully cached
+			got := g.Infer(view, sc)
+			if len(got) != len(want) {
+				t.Fatalf("view %d: %d vectors, want %d", vi, len(got), len(want))
+			}
+			for v := range want {
+				for i := range want[v] {
+					if math.Float64bits(want[v][i]) != math.Float64bits(got[v][i]) {
+						t.Fatalf("view %d pass %d vertex %d col %d: got %x want %x",
+							vi, pass, v, i, math.Float64bits(got[v][i]), math.Float64bits(want[v][i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferAllocFree: once the scratch is sized and the caches warm,
+// Infer allocates nothing.
+func TestInferAllocFree(t *testing.T) {
+	view := zeroInfView(61, 16, 6)
+	g := New(rand.New(rand.NewSource(62)), 6, 3)
+	sc := &Scratch{}
+	g.Infer(view, sc) // size buffers, build kernels, fill h⁰ cache
+	if n := testing.AllocsPerRun(50, func() {
+		g.Infer(view, sc)
+	}); n != 0 {
+		t.Fatalf("steady-state Infer allocates %.1f times per run", n)
+	}
+}
+
+// TestInferInvalidateWeights: after a weight update the h⁰ cache is
+// stale; InvalidateWeights restores bit-identity with Forward.
+func TestInferInvalidateWeights(t *testing.T) {
+	view := testView(t, 71, 7, 4)
+	g := New(rand.New(rand.NewSource(72)), 4, 2)
+	sc := &Scratch{}
+	g.Infer(view, sc) // warm the h⁰ cache against the original weights
+
+	for i := range g.win.W {
+		g.win.W[i] += 0.125
+	}
+	sc.InvalidateWeights()
+
+	want := g.Forward(view)
+	got := g.Infer(view, sc)
+	for v := range want {
+		for i := range want[v] {
+			if math.Float64bits(want[v][i]) != math.Float64bits(got[v][i]) {
+				t.Fatalf("vertex %d col %d: got %x want %x after weight change",
+					v, i, math.Float64bits(got[v][i]), math.Float64bits(want[v][i]))
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package net
+
+// Batcher funnels concurrent Evaluate calls through one shared network
+// without cloning it. Callers block on their own result; a single
+// dispatcher goroutine drains whatever requests are pending (up to the
+// microbatch cap) and serves them with one EvaluateBatch pass, so the
+// network's scratch buffers are only ever touched from one goroutine
+// and concurrent callers transparently coalesce into batches. Because
+// EvaluateBatch is bit-identical to Evaluate per view, coalescing
+// never changes any caller's result — only the throughput.
+
+import (
+	"sync"
+
+	"pbqprl/internal/gcn"
+	"pbqprl/internal/tensor"
+)
+
+// DefaultMaxBatch is the microbatch cap used when NewBatcher is given
+// a non-positive one.
+const DefaultMaxBatch = 32
+
+type batchReq struct {
+	view gcn.View
+	resp chan batchResp
+}
+
+type batchResp struct {
+	prior tensor.Vec
+	value float64
+	// panicked carries an evaluation panic (hostile graph, dimension
+	// mismatch) back to the submitting goroutine, where Evaluate
+	// re-raises it. Panics must surface on the caller — that is where
+	// the portfolio's per-stage recovery lives — not on the dispatcher,
+	// where one bad request would kill the shared network for everyone.
+	panicked any
+}
+
+// Batcher is a concurrency-safe mcts.Evaluator over one shared
+// PBQPNet. The Batcher owns the net's evaluation path: while it is
+// open, nothing else may run the net.
+type Batcher struct {
+	net  *PBQPNet
+	max  int
+	reqs chan batchReq
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewBatcher starts a batcher over n with the given microbatch cap.
+// The caller hands the net's evaluation path to the batcher until
+// Close.
+func NewBatcher(n *PBQPNet, maxBatch int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	b := &Batcher{
+		net:  n,
+		max:  maxBatch,
+		reqs: make(chan batchReq, maxBatch),
+		quit: make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// Evaluate submits view and blocks until its batch is served. The
+// returned prior is caller-owned. Bit-identical to the scalar
+// (*PBQPNet).Evaluate — including panics: an evaluation panic (e.g. a
+// graph whose dimensions do not match the network) is re-raised here,
+// on the caller's goroutine, exactly as the scalar call would have
+// raised it. Safe for any number of concurrent callers; must not be
+// called after Close.
+func (b *Batcher) Evaluate(view gcn.View) (prior tensor.Vec, value float64) {
+	resp := make(chan batchResp, 1)
+	b.reqs <- batchReq{view: view, resp: resp}
+	r := <-resp
+	if r.panicked != nil {
+		//pbqpvet:ignore panicfree re-raises the evaluation's own panic on the submitting goroutine, matching the scalar call
+		panic(r.panicked)
+	}
+	return r.prior, r.value
+}
+
+// EvaluateBatch implements mcts.BatchEvaluator on top of the queue:
+// the views are submitted as individual requests (so they coalesce
+// with other callers' work in the dispatcher) and collected in order.
+// Per-view results are bit-identical to Evaluate.
+func (b *Batcher) EvaluateBatch(views []gcn.View) (priors []tensor.Vec, values []float64) {
+	resps := make([]chan batchResp, len(views))
+	for i, v := range views {
+		resps[i] = make(chan batchResp, 1)
+		b.reqs <- batchReq{view: v, resp: resps[i]}
+	}
+	priors = make([]tensor.Vec, len(views))
+	values = make([]float64, len(views))
+	var panicked any
+	for i, ch := range resps {
+		// collect every response before re-raising a panic, so no
+		// dispatcher send is left blocking on an abandoned channel
+		r := <-ch
+		if r.panicked != nil && panicked == nil {
+			panicked = r.panicked
+		}
+		priors[i], values[i] = r.prior, r.value
+	}
+	if panicked != nil {
+		//pbqpvet:ignore panicfree re-raises the evaluation's own panic on the submitting goroutine, matching the scalar call
+		panic(panicked)
+	}
+	return priors, values
+}
+
+// Close stops the dispatcher after serving every request already
+// submitted. Callers must have stopped submitting (the server drains
+// its workers first).
+func (b *Batcher) Close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+// eval runs one EvaluateBatch pass, converting a panic into a value so
+// the dispatcher survives hostile or mismatched views.
+func (b *Batcher) eval(views []gcn.View) (priors []tensor.Vec, values []float64, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			priors, values, panicked = nil, nil, r
+		}
+	}()
+	priors, values = b.net.EvaluateBatch(views)
+	return priors, values, nil
+}
+
+func (b *Batcher) dispatch() {
+	defer b.wg.Done()
+	pend := make([]batchReq, 0, b.max)
+	views := make([]gcn.View, 0, b.max)
+	serve := func() {
+		priors, values, pv := b.eval(views)
+		if pv == nil {
+			for i, r := range pend {
+				r.resp <- batchResp{prior: priors[i], value: values[i]}
+			}
+		} else {
+			// One view poisoned the whole pass. Replay each view alone
+			// so its batchmates still get their answers; only the
+			// offending submitters see the panic, each on its own
+			// goroutine. Bit-identity makes the replay exact, and the
+			// engine's caches only ever hold fully computed entries, so
+			// scratch state stays sound across a recovered panic.
+			for i, r := range pend {
+				p1, v1, pv1 := b.eval(views[i : i+1])
+				if pv1 != nil {
+					r.resp <- batchResp{panicked: pv1}
+				} else {
+					r.resp <- batchResp{prior: p1[0], value: v1[0]}
+				}
+			}
+		}
+		pend, views = pend[:0], views[:0]
+	}
+	for {
+		select {
+		case r := <-b.reqs:
+			pend = append(pend, r)
+			views = append(views, r.view)
+			// coalesce whatever else is already waiting
+		drain:
+			for len(pend) < b.max {
+				select {
+				case r := <-b.reqs:
+					pend = append(pend, r)
+					views = append(views, r.view)
+				default:
+					break drain
+				}
+			}
+			serve()
+		case <-b.quit:
+			// serve stragglers that were enqueued before Close
+			for {
+				select {
+				case r := <-b.reqs:
+					pend = append(pend, r)
+					views = append(views, r.view)
+				default:
+					if len(pend) > 0 {
+						serve()
+					}
+					return
+				}
+			}
+		}
+	}
+}

@@ -68,6 +68,10 @@ type PBQPNet struct {
 	lastPooled tensor.Vec
 	lastH      []tensor.Vec
 	lastN      int
+
+	// eng is the lazily built read-only inference engine (engine.go).
+	// Like the Forward caches it makes the net single-goroutine.
+	eng *engine
 }
 
 // New builds a PBQPNet from cfg.
@@ -98,11 +102,14 @@ func New(cfg Config) *PBQPNet {
 // Cfg returns the configuration the network was built with.
 func (p *PBQPNet) Cfg() Config { return p.cfg }
 
-// SetTraining switches batch-normalization statistics updates.
+// SetTraining switches batch-normalization statistics updates. The
+// toggle brackets every weight update (selfplay trains between search
+// phases), so it doubles as the engine's weight-change signal.
 func (p *PBQPNet) SetTraining(training bool) {
 	nn.SetTraining(p.torso, training)
 	nn.SetTraining(p.policy, training)
 	nn.SetTraining(p.value, training)
+	p.invalidateEngine()
 }
 
 // Forward runs the network on view (active vertex 0 is the next to
@@ -120,18 +127,29 @@ func (p *PBQPNet) Forward(view gcn.View) (logits tensor.Vec, value float64) {
 // pool builds the fixed-size torso input: target embedding ‖ mean
 // embedding ‖ [n scale, target liberty share].
 func pool(view gcn.View, h []tensor.Vec) tensor.Vec {
-	m := view.M()
-	f := tensor.NewVec(2*m + 2)
-	copy(f[:m], h[0])
-	n := len(h)
-	for _, hv := range h {
-		for i, x := range hv {
-			f[m+i] += x / float64(n)
-		}
-	}
-	f[2*m] = float64(n) / 100.0
-	f[2*m+1] = float64(view.Vec(0).Liberty()) / float64(m)
+	f := tensor.NewVec(2*view.M() + 2)
+	poolInto(f, view, h)
 	return f
+}
+
+// poolInto is pool writing into a caller-provided 2m+2 vector. The mean
+// embedding accumulates the per-vertex sum first and divides once per
+// element — n−1 fewer divisions and n−1 fewer roundings per element
+// than dividing every term, and the same single-division mean the GCN
+// message pass computes. (The old per-term x/n accumulation was the
+// slower and noisier of the two; switching changes forward outputs in
+// the last bits, see the checkpoint-compatibility note in DESIGN.md.)
+func poolInto(f tensor.Vec, view gcn.View, h []tensor.Vec) {
+	m := view.M()
+	copy(f[:m], h[0])
+	mean := f[m : 2*m]
+	mean.Zero()
+	for _, hv := range h {
+		mean.AddInPlace(hv)
+	}
+	mean.Scale(1 / float64(len(h)))
+	f[2*m] = float64(len(h)) / 100.0
+	f[2*m+1] = float64(view.Vec(0).Liberty()) / float64(m)
 }
 
 // Evaluate returns the masked prior distribution p̂(·|s) over colors and
@@ -142,11 +160,18 @@ func (p *PBQPNet) Evaluate(view gcn.View) (prior tensor.Vec, value float64) {
 	return nn.Softmax(logits, Mask(view)), value
 }
 
-// Mask returns the legal-color mask of the next vertex to color.
+// Mask returns the legal-color mask of the next vertex to color. A
+// fully saturated vertex (every color infinite — a dead end the search
+// still evaluates before detecting) yields the all-false mask, which
+// nn.Softmax maps to the all-zero prior rather than NaN.
 func Mask(view gcn.View) []bool {
-	vec := view.Vec(0)
-	mask := make([]bool, len(vec))
-	for i, c := range vec {
+	return MaskInto(make([]bool, len(view.Vec(0))), view)
+}
+
+// MaskInto is Mask writing into a caller-provided slice, which it
+// returns.
+func MaskInto(mask []bool, view gcn.View) []bool {
+	for i, c := range view.Vec(0) {
 		mask[i] = !c.IsInf()
 	}
 	return mask
@@ -199,7 +224,10 @@ func (p *PBQPNet) Save(w io.Writer) error { return nn.SaveTensors(w, p.tensors()
 
 // Load restores weights saved by Save into an identically configured
 // network.
-func (p *PBQPNet) Load(r io.Reader) error { return nn.LoadTensors(r, p.tensors()) }
+func (p *PBQPNet) Load(r io.Reader) error {
+	p.invalidateEngine()
+	return nn.LoadTensors(r, p.tensors())
+}
 
 // SaveBytes serializes the network into a byte slice (the Save format),
 // for embedding in checkpoints or comparing two networks exactly.
@@ -225,6 +253,7 @@ func (p *PBQPNet) Clone() *PBQPNet {
 // CopyFrom copies all weights and statistics from src; architectures
 // must match (they do whenever both nets were built from the same Config).
 func (p *PBQPNet) CopyFrom(src *PBQPNet) {
+	p.invalidateEngine()
 	dst, s := p.tensors(), src.tensors()
 	if len(dst) != len(s) {
 		//pbqpvet:ignore panicfree both nets come from the same Config by construction; mismatch is a code bug

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbqprl/internal/tensor"
+)
+
+// torsoLike builds the module shape net.PBQPNet uses: dense + batchnorm
+// + relu with residual blocks, plus a tanh to cover every module type.
+func torsoLike(rng *rand.Rand, in, hidden int) Module {
+	block := NewResidual(NewSequential(
+		NewDense(rng, hidden, hidden), NewBatchNorm(hidden), &ReLU{},
+		NewDense(rng, hidden, hidden), NewBatchNorm(hidden),
+	))
+	return NewSequential(
+		NewDense(rng, in, hidden), NewBatchNorm(hidden), &ReLU{},
+		block, &ReLU{},
+		NewDense(rng, hidden, hidden), &Tanh{},
+	)
+}
+
+// warmStats runs a few training-mode samples through mod so the
+// BatchNorm statistics are not the trivial (0, 1) initialization.
+func warmStats(rng *rand.Rand, mod Module, in int) {
+	SetTraining(mod, true)
+	for i := 0; i < 7; i++ {
+		x := make(tensor.Vec, in)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		mod.Forward(x)
+	}
+	SetTraining(mod, false)
+}
+
+// TestInferBatchBitIdenticalToForward is the walker's core contract:
+// one batched pass equals row-by-row scalar Forward, bit for bit.
+func TestInferBatchBitIdenticalToForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const in, hidden = 10, 16
+	mod := torsoLike(rng, in, hidden)
+	warmStats(rng, mod, in)
+	sc := &InferScratch{}
+	for _, batch := range []int{1, 2, 5, 8, 13} {
+		x := tensor.NewMat(batch, in)
+		for i := range x.W {
+			x.W[i] = rng.NormFloat64()
+		}
+		sc.Reset()
+		got := InferBatch(mod, x, sc)
+		for r := 0; r < batch; r++ {
+			want := mod.Forward(x.Row(r))
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got.At(r, i)) {
+					t.Fatalf("batch %d row %d col %d: got %x want %x",
+						batch, r, i, math.Float64bits(got.At(r, i)), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchLeavesModuleUntouched pins the read-only property: the
+// walker neither updates BatchNorm statistics nor the Forward caches.
+func TestInferBatchLeavesModuleUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const in, hidden = 6, 8
+	mod := torsoLike(rng, in, hidden)
+	warmStats(rng, mod, in)
+
+	probe := make(tensor.Vec, in)
+	for j := range probe {
+		probe[j] = rng.NormFloat64()
+	}
+	before := mod.Forward(probe).Clone()
+
+	sc := &InferScratch{}
+	x := tensor.NewMat(4, in)
+	for i := range x.W {
+		x.W[i] = rng.NormFloat64()
+	}
+	InferBatch(mod, x, sc)
+
+	after := mod.Forward(probe)
+	for i := range before {
+		if math.Float64bits(before[i]) != math.Float64bits(after[i]) {
+			t.Fatalf("InferBatch changed module state: forward[%d] %x -> %x",
+				i, math.Float64bits(before[i]), math.Float64bits(after[i]))
+		}
+	}
+}
+
+// TestInferBatchAllocFree: after the first pass sizes the arena, the
+// steady-state batched pass performs zero allocations.
+func TestInferBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const in, hidden = 10, 16
+	mod := torsoLike(rng, in, hidden)
+	warmStats(rng, mod, in)
+	sc := &InferScratch{}
+	x := tensor.NewMat(8, in)
+	for i := range x.W {
+		x.W[i] = rng.NormFloat64()
+	}
+	sc.Reset()
+	InferBatch(mod, x, sc) // size the arena
+	if n := testing.AllocsPerRun(50, func() {
+		sc.Reset()
+		InferBatch(mod, x, sc)
+	}); n != 0 {
+		t.Fatalf("steady-state InferBatch allocates %.1f times per run", n)
+	}
+}
+
+// TestInferBatchTrainingModePanics: evaluating through a training-mode
+// BatchNorm must fail fast instead of silently diverging.
+func TestInferBatchTrainingModePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	mod := torsoLike(rng, 4, 4)
+	SetTraining(mod, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	InferBatch(mod, tensor.NewMat(1, 4), &InferScratch{})
+}
+
+// TestSoftmaxAllInfiniteLogits is the saturated-vertex regression: when
+// every unmasked logit is -∞ the old code produced NaN probabilities
+// (exp(-∞ − -∞)); the defined result is the all-zero distribution.
+func TestSoftmaxAllInfiniteLogits(t *testing.T) {
+	neg := math.Inf(-1)
+	cases := []struct {
+		logits tensor.Vec
+		mask   []bool
+	}{
+		{tensor.Vec{neg, neg, neg}, nil},
+		{tensor.Vec{neg, 1, neg}, []bool{true, false, true}},
+		{tensor.Vec{1, 2, 3}, []bool{false, false, false}},
+	}
+	for i, c := range cases {
+		got := Softmax(c.logits, c.mask)
+		for j, p := range got {
+			if p != 0 || math.Signbit(p) {
+				t.Errorf("case %d: Softmax[%d] = %v, want +0", i, j, p)
+			}
+		}
+	}
+}
+
+// TestSoftmaxIntoMatchesSoftmax: the Into variant is the same function.
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		logits := make(tensor.Vec, n)
+		mask := make([]bool, n)
+		for i := range logits {
+			logits[i] = rng.NormFloat64() * 3
+			mask[i] = rng.Intn(4) > 0
+		}
+		want := Softmax(logits, mask)
+		got := make(tensor.Vec, n)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		SoftmaxInto(got, logits, mask)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d: SoftmaxInto[%d] = %x, want %x", trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}

@@ -8,10 +8,22 @@ import (
 
 // Softmax returns the softmax of logits in a numerically stable way.
 // Entries where mask is false are treated as -∞ (probability zero); a
-// nil mask enables every entry. If every entry is masked the result is
-// all zeros.
+// nil mask enables every entry. If every entry is masked — or every
+// unmasked logit is itself -∞, which would otherwise turn the
+// denominator into 0/0 — the result is all zeros: the defined
+// "distribution over nothing" that callers (MCTS dead-end handling)
+// already treat as "no move", instead of a NaN prior.
 func Softmax(logits tensor.Vec, mask []bool) tensor.Vec {
 	out := make(tensor.Vec, len(logits))
+	SoftmaxInto(out, logits, mask)
+	return out
+}
+
+// SoftmaxInto is Softmax writing into out (same length as logits)
+// without allocating; out is fully overwritten. The two are
+// bit-identical.
+func SoftmaxInto(out, logits tensor.Vec, mask []bool) {
+	out.Zero()
 	maxv := math.Inf(-1)
 	any := false
 	for i, v := range logits {
@@ -23,8 +35,11 @@ func Softmax(logits tensor.Vec, mask []bool) tensor.Vec {
 			maxv = v
 		}
 	}
-	if !any {
-		return out
+	// A fully saturated vertex (every color infinite) produces an
+	// all-false mask; an all--∞ logit row produces maxv = -∞ and
+	// exp(-∞ − -∞) = NaN. Both collapse to the all-zero distribution.
+	if !any || math.IsInf(maxv, -1) {
+		return
 	}
 	sum := 0.0
 	for i, v := range logits {
@@ -35,10 +50,15 @@ func Softmax(logits tensor.Vec, mask []bool) tensor.Vec {
 		out[i] = e
 		sum += e
 	}
+	// sum ≥ 1 whenever maxv is finite; a NaN logit is the only way
+	// here, and zeros beat NaN probabilities downstream.
+	if math.IsNaN(sum) {
+		out.Zero()
+		return
+	}
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // CrossEntropy returns −Σ target_i · log p_i, the policy loss term of

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"pbqprl/internal/mcts"
+	pbqpnet "pbqprl/internal/net"
+)
+
+// TestSharedBatcherBitIdenticalToClones exercises the cmd/pbqp-serve
+// -batch wiring end to end: one server hands every rl-bt request its
+// own clone of a trained-shape network, the other routes all requests
+// through a single shared net.Batcher with BatchLeaves set. Concurrent
+// requests against the batcher server must all succeed and return the
+// clone server's exact selection and cost — batching is a throughput
+// knob, never a results knob.
+func TestSharedBatcherBitIdenticalToClones(t *testing.T) {
+	base := pbqpnet.New(pbqpnet.Config{M: 2, GCNLayers: 1, Hidden: 8, Blocks: 1, Seed: 7})
+
+	refSrv := newTestServer(t, Config{
+		Workers:         2,
+		DefaultChain:    []string{"rl-bt"},
+		DefaultDeadline: time.Minute,
+		K:               12,
+		Evaluator:       func() mcts.Evaluator { return base.Clone() },
+	})
+	ref := decodeSolve(t, post(refSrv.Handler(), fig2, "", nil))
+	if !ref.Result.Feasible {
+		t.Fatalf("clone reference infeasible: %+v", ref.Result)
+	}
+
+	// Register the batcher's Close before newTestServer so the LIFO
+	// cleanup order drains the server's workers (no evaluation can be
+	// in flight) before the dispatcher stops.
+	b := pbqpnet.NewBatcher(base, 8)
+	t.Cleanup(b.Close)
+	batSrv := newTestServer(t, Config{
+		Workers:         4,
+		DefaultChain:    []string{"rl-bt"},
+		DefaultDeadline: time.Minute,
+		K:               12,
+		Evaluator:       func() mcts.Evaluator { return b },
+		BatchLeaves:     8,
+	})
+
+	const n = 16
+	resps := make([]SolveResponse, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := post(batSrv.Handler(), fig2, "", nil)
+			codes[i] = rec.Code
+			if rec.Code == http.StatusOK {
+				resps[i] = decodeSolve(t, rec)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		got := resps[i]
+		if !got.Result.Feasible {
+			t.Fatalf("request %d infeasible: %+v", i, got.Result)
+		}
+		if got.Result.Cost != ref.Result.Cost {
+			t.Fatalf("request %d cost %v != clone reference %v", i, got.Result.Cost, ref.Result.Cost)
+		}
+		if len(got.Result.Selection) != len(ref.Result.Selection) {
+			t.Fatalf("request %d selection length %d != %d", i, len(got.Result.Selection), len(ref.Result.Selection))
+		}
+		for v := range got.Result.Selection {
+			if got.Result.Selection[v] != ref.Result.Selection[v] {
+				t.Fatalf("request %d selection %v != clone reference %v", i, got.Result.Selection, ref.Result.Selection)
+			}
+		}
+	}
+}

@@ -138,3 +138,96 @@ func TestNewMatPanics(t *testing.T) {
 	}()
 	NewMat(-1, 2)
 }
+
+// randMat fills an r×c matrix from rng with values in [-1, 1).
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.W {
+		m.W[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// TestMulVecIntoBitIdentical pins the engine contract: the Into
+// variants produce bit-for-bit the same floats as their allocating
+// counterparts, across shapes.
+func TestMulVecIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		r, c := 1+rng.Intn(40), 1+rng.Intn(40)
+		m := randMat(rng, r, c)
+		x := randVec(rng, c)
+		want := m.MulVec(x)
+		got := NewVec(r)
+		// poison dst: Into must overwrite, not accumulate
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		m.MulVecInto(got, x)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d: MulVecInto[%d] = %x, want %x", trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+		xt := randVec(rng, r)
+		wantT := m.MulTVec(xt)
+		gotT := NewVec(c)
+		for i := range gotT {
+			gotT[i] = math.NaN()
+		}
+		m.MulTVecInto(gotT, xt)
+		for i := range wantT {
+			if math.Float64bits(wantT[i]) != math.Float64bits(gotT[i]) {
+				t.Fatalf("trial %d: MulTVecInto[%d] = %x, want %x", trial, i, math.Float64bits(gotT[i]), math.Float64bits(wantT[i]))
+			}
+		}
+	}
+}
+
+// TestMatMulTIntoBitIdentical checks the blocked batch kernel against
+// row-by-row MulVec, including batch sizes that exercise the 4-row
+// blocks and the tail.
+func TestMatMulTIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, b := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31} {
+		r, c := 1+rng.Intn(20), 1+rng.Intn(20)
+		w := randMat(rng, r, c)
+		x := randMat(rng, b, c)
+		dst := NewMat(b, r)
+		MatMulTInto(dst, x, w)
+		for row := 0; row < b; row++ {
+			want := w.MulVec(x.Row(row))
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(dst.At(row, i)) {
+					t.Fatalf("batch %d row %d col %d: got %x want %x", b, row, i, math.Float64bits(dst.At(row, i)), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestIntoVariantsAllocFree pins the reason the Into variants exist.
+func TestIntoVariantsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randMat(rng, 13, 13)
+	w := randMat(rng, 13, 13)
+	x := randVec(rng, 13)
+	dst := NewVec(13)
+	xb := randMat(rng, 8, 13)
+	db := NewMat(8, 13)
+	if n := testing.AllocsPerRun(100, func() {
+		m.MulVecInto(dst, x)
+		m.MulTVecInto(dst, x)
+		MatMulTInto(db, xb, w)
+	}); n != 0 {
+		t.Fatalf("Into kernels allocate %.1f times per run", n)
+	}
+}
