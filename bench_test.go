@@ -31,6 +31,7 @@ import (
 	"pbqprl/internal/mcts"
 	"pbqprl/internal/perfmodel"
 	"pbqprl/internal/regalloc"
+	"pbqprl/internal/router"
 	"pbqprl/internal/selfplay"
 	"pbqprl/internal/server"
 	"pbqprl/internal/solve/scholz"
@@ -515,13 +516,171 @@ func BenchmarkServeThroughput(b *testing.B) {
 		GoMaxProcs int      `json:"gomaxprocs"`
 		Results    []result `json:"results"`
 	}{"BenchmarkServeThroughput", runtime.GOMAXPROCS(0), results}
-	data, err := json.MarshalIndent(report, "", "  ")
+	// Merge rather than overwrite: BenchmarkRouterThroughput owns the
+	// sibling "router" section of the same file.
+	mergeBenchServe(b, map[string]any{
+		"benchmark":  report.Benchmark,
+		"gomaxprocs": report.GoMaxProcs,
+		"results":    report.Results,
+	})
+}
+
+// mergeBenchServe updates the given top-level keys of BENCH_serve.json
+// in place, preserving whatever other sections are already there, so
+// the serve and router benchmarks can each own part of one report file
+// regardless of run order.
+func mergeBenchServe(b *testing.B, sections map[string]any) {
+	b.Helper()
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile("BENCH_serve.json"); err == nil {
+		// Best effort: a corrupt file is replaced, not fatal.
+		json.Unmarshal(data, &doc)
+	}
+	for key, v := range sections {
+		data, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc[key] = data
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkRouterThroughput measures the fleet front (internal/router)
+// on the three paths that matter for repeat-heavy allocation traffic,
+// against one real pbqp-serve backend over real sockets:
+//
+//   - uncached_single_backend: cache disabled, every request a distinct
+//     graph — the baseline where each request costs a backend solve;
+//   - cache_hit: one graph repeated — after the first solve every
+//     request answers from the content-addressed cache;
+//   - coalesced: cache disabled, identical concurrent requests —
+//     singleflight collapses each wave into one backend solve.
+//
+// Results merge into the "router" section of BENCH_serve.json, with
+// the cache-hit speedup over the uncached baseline called out.
+func BenchmarkRouterThroughput(b *testing.B) {
+	// Pre-rendered distinct graphs (Figure 2 with a varied cost) so the
+	// uncached path cannot accidentally hit the cache or coalesce.
+	graphs := make([]string, 512)
+	for i := range graphs {
+		graphs[i] = fmt.Sprintf("pbqp 3 2\nv 0 %d 2\nv 1 5 0\nv 2 0 0\ne 0 1 0 inf inf 4\ne 1 2 1 0 0 2\n", i+1)
+	}
+	type result struct {
+		Path           string  `json:"path"`
+		Clients        int     `json:"clients"`
+		Requests       int     `json:"requests"`
+		RequestsPerSec float64 `json:"requests_per_sec"`
+	}
+	run := func(b *testing.B, cacheBytes int64, clients int, graphFor func(i int) string) float64 {
+		b.Helper()
+		srv, err := server.New(server.Config{
+			Workers:         runtime.GOMAXPROCS(0),
+			QueueDepth:      4096,
+			DefaultChain:    []string{"liberty", "scholz"},
+			DefaultDeadline: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		rt, err := router.New(router.Config{
+			Backends:        []string{ts.URL},
+			CacheBytes:      cacheBytes,
+			QueueDepth:      4096,
+			DefaultDeadline: time.Minute,
+			MaxDeadline:     time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := rt.Handler()
+		var bad atomic.Int64
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		next := atomic.Int64{}
+		for g := 0; g < clients; g++ {
+			n := b.N / clients
+			if g < b.N%clients {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					req := httptest.NewRequest(http.MethodPost, "/v1/solve",
+						strings.NewReader(graphFor(int(next.Add(1)))))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						bad.Add(1)
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		if bad.Load() > 0 {
+			b.Fatalf("%d of %d requests failed", bad.Load(), b.N)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := rt.Drain(ctx); err != nil {
+			b.Fatal(err)
+		}
+		ts.Close()
+		if err := srv.Drain(ctx); err != nil {
+			b.Fatal(err)
+		}
+		perSec := float64(b.N) / elapsed.Seconds()
+		b.ReportMetric(perSec, "req/sec")
+		return perSec
+	}
+
+	clients := 4
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		clients = p
+	}
+	byPath := map[string]result{} // keep only the final (largest b.N) run
+	cases := []struct {
+		path       string
+		cacheBytes int64
+		graphFor   func(i int) string
+	}{
+		{"uncached_single_backend", -1, func(i int) string { return graphs[i%len(graphs)] }},
+		{"cache_hit", 0, func(int) string { return graphs[0] }},
+		{"coalesced", -1, func(int) string { return graphs[0] }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.path, func(b *testing.B) {
+			perSec := run(b, tc.cacheBytes, clients, tc.graphFor)
+			byPath[tc.path] = result{Path: tc.path, Clients: clients, Requests: b.N, RequestsPerSec: perSec}
+		})
+	}
+	var results []result
+	for _, tc := range cases {
+		if r, ok := byPath[tc.path]; ok {
+			results = append(results, r)
+		}
+	}
+	section := map[string]any{
+		"benchmark":  "BenchmarkRouterThroughput",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"results":    results,
+	}
+	if base, hit := byPath["uncached_single_backend"], byPath["cache_hit"]; base.RequestsPerSec > 0 && hit.RequestsPerSec > 0 {
+		section["cache_hit_speedup_vs_uncached"] = hit.RequestsPerSec / base.RequestsPerSec
+	}
+	mergeBenchServe(b, map[string]any{"router": section})
 }
 
 // --- Distributed self-play benchmark ---

@@ -1,0 +1,165 @@
+// Command pbqp-router runs the fleet front of the PBQP allocation
+// service: a thin HTTP shard router that spreads solve traffic across
+// N pbqp-serve backends with a content-addressed solution cache,
+// singleflight request coalescing, consistent-hash sharding,
+// health-checked failover, and per-backend circuit breakers.
+//
+// Usage:
+//
+//	pbqp-router -backends http://h1:8723,http://h2:8723 [-addr :8722]
+//	            [-cache-bytes 67108864] [-max-tries 4]
+//	            [-backoff-base 25ms] [-backoff-max 500ms]
+//	            [-breaker-threshold 5] [-breaker-cooldown 2s]
+//	            [-health-interval 1s] [-health-timeout 1s]
+//	            [-workers 256] [-queue 512] [-max-body 4194304]
+//	            [-default-deadline 2s] [-max-deadline 30s]
+//	            [-max-vertices N] [-max-colors N]
+//	            [-drain-timeout 30s]
+//
+// Endpoints mirror pbqp-serve:
+//
+//	POST /v1/solve      solve a graph; knobs via query or header:
+//	                    chain/X-PBQP-Chain, deadline/X-PBQP-Deadline,
+//	                    cost-mode/X-PBQP-Cost-Mode. The X-PBQP-Cache
+//	                    response header reports hit/miss/coalesced.
+//	GET  /metrics       metrics snapshot: cache hits/misses/evictions,
+//	                    coalesced requests, per-backend tries and
+//	                    failovers, breaker state, plus the request
+//	                    families pbqp-serve publishes
+//	GET  /healthz       liveness (200 while the process runs)
+//	GET  /readyz        readiness (503 + Retry-After once draining)
+//	GET  /debug/pprof/  runtime profiles
+//
+// A dead or draining backend is ejected by active /readyz probes and
+// passive circuit breakers, and re-admitted automatically once it
+// answers again; while any replica survives, requests keep completing.
+// Under total backend loss the router serves cache hits and sheds
+// everything else with 503 + Retry-After.
+//
+// On SIGTERM or SIGINT the router drains gracefully: readyz flips to
+// 503, accepted requests finish, then it exits 0. A second signal —
+// or the drain timeout — forces exit 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8722", "listen address")
+	backends := flag.String("backends", "", "comma-separated pbqp-serve base URLs (required)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "solution cache memory ceiling in bytes (negative disables)")
+	maxTries := flag.Int("max-tries", 4, "forwarding attempts per request across all backends")
+	backoffBase := flag.Duration("backoff-base", 25*time.Millisecond, "initial failover backoff")
+	backoffMax := flag.Duration("backoff-max", 500*time.Millisecond, "failover backoff ceiling")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip a backend's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker wait before a half-open probe")
+	healthInterval := flag.Duration("health-interval", time.Second, "active /readyz probe period (0 disables)")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "active probe timeout")
+	workers := flag.Int("workers", 256, "forwarding worker pool size")
+	queue := flag.Int("queue", 512, "admission queue depth; beyond it requests are shed with 429")
+	maxBody := flag.Int64("max-body", 4<<20, "request body size cap in bytes")
+	defaultDeadline := flag.Duration("default-deadline", 2*time.Second, "per-request budget when the client does not set one")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on client-requested deadlines")
+	maxVertices := flag.Int("max-vertices", 0, "per-request vertex cap (0 = parser default)")
+	maxColors := flag.Int("max-colors", 0, "per-request color cap (0 = parser default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may wait for in-flight requests")
+	flag.Parse()
+	if flag.NArg() != 0 || *backends == "" {
+		fmt.Fprintln(os.Stderr, "usage: pbqp-router -backends http://h1:8723,http://h2:8723 [flags]")
+		flag.Usage()
+		os.Exit(1)
+	}
+	log.SetPrefix("pbqp-router: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	rt, err := router.New(router.Config{
+		Backends:         splitList(*backends),
+		CacheBytes:       *cacheBytes,
+		MaxTries:         *maxTries,
+		BackoffBase:      *backoffBase,
+		BackoffMax:       *backoffMax,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		HealthInterval:   *healthInterval,
+		HealthTimeout:    *healthTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxRequestBytes:  *maxBody,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		ReadLimits:       pbqp.ReadLimits{MaxVertices: *maxVertices, MaxColors: *maxColors},
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing to %s, listening on %s", *backends, *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	}
+
+	// Drain sequence mirrors pbqp-serve: stop admitting first (readyz
+	// flips to 503 while the listener stays up), finish accepted work,
+	// then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rt.Drain(drainCtx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		log.Printf("received second %s, aborting drain", sig)
+		os.Exit(1)
+	}
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly, exiting")
+}
+
+func splitList(spec string) []string {
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -3,7 +3,22 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
+
+// ctxrootMarker designates a context-taking function as an additional
+// ctxpoll root: everything reachable from it is held to the same
+// polling contract as a SolveCtx implementation. Written as a
+// doc-comment line, optionally followed by a reason:
+//
+//	//pbqpvet:ctxroot bounded retry loop must stay cancellable
+//	func (r *Router) forward(ctx context.Context, ...) ...
+//
+// Serving-path code (the router's forward/retry loops, health probes)
+// is not reachable from any SolveCtx, but a forgotten poll there turns
+// a request deadline into a hang just the same — the marker opts those
+// call trees into the sweep.
+const ctxrootMarker = "pbqpvet:ctxroot"
 
 // CtxPoll enforces the solve.ContextSolver contract: a SolveCtx
 // implementation must actually poll its context, and every unbounded
@@ -13,11 +28,13 @@ import (
 // Counting loops (init; cond; post) and range loops over non-channel
 // operands are bounded by data size and exempt; `for {}` and
 // condition-only loops are where a forgotten poll turns a deadline into
-// a hang.
+// a hang. Functions marked //pbqpvet:ctxroot are swept as additional
+// roots under the same rules.
 var CtxPoll = &Analyzer{
 	Name: "ctxpoll",
-	Doc: "every SolveCtx implementation must reach a ctx.Err()/ctx.Done() " +
-		"check from each unbounded loop so cancellation can interrupt the search",
+	Doc: "every SolveCtx implementation (and every //pbqpvet:ctxroot " +
+		"function) must reach a ctx.Err()/ctx.Done() check from each " +
+		"unbounded loop so cancellation can interrupt the work",
 	Run: runCtxPoll,
 }
 
@@ -40,11 +57,24 @@ func runCtxPoll(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Recv == nil || fd.Name.Name != "SolveCtx" || !c.hasCtxParam(fd) {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isSolve := fd.Recv != nil && fd.Name.Name == "SolveCtx" && c.hasCtxParam(fd)
+			isMarked := hasCtxrootMarker(fd)
+			if isMarked && !c.hasCtxParam(fd) {
+				pass.Reportf(fd.Pos(), "function marked //pbqpvet:ctxroot takes no context.Context; the marker asserts a cancellation contract it cannot honor")
+				continue
+			}
+			if !isSolve && !isMarked {
 				continue
 			}
 			if !c.polls(fd.Body) {
-				pass.Reportf(fd.Pos(), "SolveCtx implementation never checks its context; cancellation and deadlines are silently ignored")
+				if isSolve {
+					pass.Reportf(fd.Pos(), "SolveCtx implementation never checks its context; cancellation and deadlines are silently ignored")
+				} else {
+					pass.Reportf(fd.Pos(), "function marked //pbqpvet:ctxroot never checks its context; cancellation and deadlines are silently ignored")
+				}
 				continue
 			}
 			obj := pass.Info.Defs[fd.Name].(*types.Func)
@@ -54,6 +84,22 @@ func runCtxPoll(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// hasCtxrootMarker reports whether fd's doc comment contains a
+// //pbqpvet:ctxroot line (a trailing reason after the marker is
+// allowed and encouraged).
+func hasCtxrootMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, cm := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+		if text == ctxrootMarker || strings.HasPrefix(text, ctxrootMarker+" ") {
+			return true
+		}
+	}
+	return false
 }
 
 type ctxChecker struct {
@@ -172,12 +218,12 @@ func (c *ctxChecker) checkLoops(fd *ast.FuncDecl) {
 		case *ast.ForStmt:
 			bounded := loop.Init != nil && loop.Cond != nil && loop.Post != nil
 			if !bounded && !c.polls(loop.Body) {
-				c.pass.Reportf(loop.Pos(), "unbounded loop reachable from SolveCtx never polls the context; a deadline cannot interrupt it (poll ctx.Err() every solve.CheckInterval states)")
+				c.pass.Reportf(loop.Pos(), "unbounded loop reachable from a ctxpoll root (SolveCtx or //pbqpvet:ctxroot) never polls the context; a deadline cannot interrupt it (poll ctx.Err() every solve.CheckInterval states)")
 			}
 		case *ast.RangeStmt:
 			if t := c.pass.TypeOf(loop.X); t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan && !c.polls(loop.Body) {
-					c.pass.Reportf(loop.Pos(), "channel-range loop reachable from SolveCtx never polls the context; a deadline cannot interrupt it")
+					c.pass.Reportf(loop.Pos(), "channel-range loop reachable from a ctxpoll root (SolveCtx or //pbqpvet:ctxroot) never polls the context; a deadline cannot interrupt it")
 				}
 			}
 		}

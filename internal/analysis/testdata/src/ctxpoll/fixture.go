@@ -25,10 +25,10 @@ func (s *spinSolver) SolveCtx(ctx context.Context, n int) result {
 	if ctx.Err() != nil {
 		return result{}
 	}
-	for !s.stop { // want "unbounded loop reachable from SolveCtx never polls"
+	for !s.stop { // want "unbounded loop reachable from a ctxpoll root"
 		s.step()
 	}
-	for { // want "unbounded loop reachable from SolveCtx never polls"
+	for { // want "unbounded loop reachable from a ctxpoll root"
 		if s.step() {
 			return result{}
 		}
@@ -91,7 +91,7 @@ func (s *deepSolver) SolveCtx(ctx context.Context, n int) result {
 }
 
 func (s *deepSolver) drain() {
-	for len(s.pending) > 0 { // want "unbounded loop reachable from SolveCtx never polls"
+	for len(s.pending) > 0 { // want "unbounded loop reachable from a ctxpoll root"
 		s.pending = s.pending[1:]
 	}
 }
@@ -122,4 +122,53 @@ func notASolver(n int) {
 			return
 		}
 	}
+}
+
+// markedRetryLoop opts into the sweep via //pbqpvet:ctxroot, like the
+// router's forward path: its unbounded retry loop polls, so no finding.
+//
+//pbqpvet:ctxroot the retry loop must stay cancellable
+func markedRetryLoop(ctx context.Context, n int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		runSub(ctx, n)
+	}
+}
+
+// markedSpinner is a marked root whose helper spins without polling —
+// the marker extends the whole-call-tree contract, not just the root's
+// own body.
+//
+//pbqpvet:ctxroot
+func markedSpinner(ctx context.Context, s *spinSolver) {
+	if ctx.Err() != nil {
+		return
+	}
+	spinHelper(s)
+}
+
+func spinHelper(s *spinSolver) {
+	for !s.stop { // want "unbounded loop reachable from a ctxpoll root"
+		s.step()
+	}
+}
+
+// markedDeaf claims the contract but never looks at its context.
+//
+//pbqpvet:ctxroot
+func markedDeaf(ctx context.Context, n int) { // want "never checks its context"
+	for {
+		if n > 0 {
+			return
+		}
+	}
+}
+
+// markedNoCtx asserts a contract it cannot honor: no context parameter.
+//
+//pbqpvet:ctxroot
+func markedNoCtx(n int) { // want "takes no context.Context"
+	_ = n
 }

@@ -23,27 +23,63 @@ import (
 
 // Write serializes g in the textual PBQP format. Dead vertices are not
 // representable and cause an error.
+//
+// The serialization is strconv-append into a reused chunk buffer
+// rather than fmt: Write sits on the serving hot path (CanonicalHash
+// runs it per request to content-address the graph), where fmt's
+// per-value boxing and a per-call bufio.Writer dominated the profile.
+// The byte stream is unchanged — it is pinned by the round-trip and
+// canonical-hash regression tests over the fuzz seed corpus.
 func Write(w io.Writer, g *Graph) error {
 	if g.AliveCount() != g.NumVertices() {
 		return fmt.Errorf("pbqp: cannot serialize graph with removed vertices")
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "pbqp %d %d\n", g.NumVertices(), g.M())
-	for u := 0; u < g.NumVertices(); u++ {
-		fmt.Fprintf(bw, "v %d", u)
-		for _, c := range g.VertexCost(u) {
-			fmt.Fprintf(bw, " %s", c)
+	buf := make([]byte, 0, 4<<10)
+	var err error
+	flush := func(min int) {
+		if err != nil || len(buf) < min {
+			return
 		}
-		fmt.Fprintln(bw)
+		_, err = w.Write(buf)
+		buf = buf[:0]
+	}
+	buf = append(buf, "pbqp "...)
+	buf = strconv.AppendInt(buf, int64(g.NumVertices()), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(g.M()), 10)
+	buf = append(buf, '\n')
+	for u := 0; u < g.NumVertices(); u++ {
+		buf = append(buf, "v "...)
+		buf = strconv.AppendInt(buf, int64(u), 10)
+		for _, c := range g.VertexCost(u) {
+			buf = append(buf, ' ')
+			buf = appendCost(buf, c)
+		}
+		buf = append(buf, '\n')
+		flush(32 << 10)
 	}
 	for _, e := range g.Edges() {
-		fmt.Fprintf(bw, "e %d %d", e.U, e.V)
+		buf = append(buf, "e "...)
+		buf = strconv.AppendInt(buf, int64(e.U), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(e.V), 10)
 		for _, c := range e.M.Data {
-			fmt.Fprintf(bw, " %s", c)
+			buf = append(buf, ' ')
+			buf = appendCost(buf, c)
 		}
-		fmt.Fprintln(bw)
+		buf = append(buf, '\n')
+		flush(32 << 10)
 	}
-	return bw.Flush()
+	flush(1)
+	return err
+}
+
+// appendCost renders c exactly as cost.Cost.String does, into buf.
+func appendCost(buf []byte, c cost.Cost) []byte {
+	if c.IsInf() {
+		return append(buf, "inf"...)
+	}
+	return strconv.AppendFloat(buf, float64(c), 'g', -1, 64)
 }
 
 // String renders g in the textual PBQP format (empty on serialization
@@ -144,7 +180,10 @@ func Read(r io.Reader) (*Graph, error) {
 func ReadWithLimits(r io.Reader, limits ReadLimits) (*Graph, error) {
 	lim := limits.withDefaults()
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	// Nil initial buffer: the scanner grows lazily (4KiB doubling) up to
+	// the 16MiB token cap, so parsing a small graph does not pay a fixed
+	// megabyte-zeroing tax per call — it dominated the serving hot path.
+	sc.Buffer(nil, 1<<24)
 	var g *Graph
 	var seenVertex []bool
 	lineno := 0

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// owns replicasPerBackend points placed by hashing "addr#i", and a
+// graph maps to the first point clockwise from its canonical hash.
+// Consistent hashing keeps two properties the router wants: the same
+// graph always lands on the same backend (so each backend's own
+// batching and OS page cache see repeat traffic), and adding or
+// removing one backend remaps only ~1/N of the key space instead of
+// reshuffling everything.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // number of distinct backends
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// replicasPerBackend is the virtual-node count per backend: enough to
+// even out the key-space split across a handful of backends without
+// making ring construction noticeable.
+const replicasPerBackend = 128
+
+// newRing builds the ring for n backends identified by their addresses
+// (the address, not the slice index, determines point placement, so a
+// fleet rollout that reorders the backend list does not remap keys).
+func newRing(addrs []string) *ring {
+	r := &ring{n: len(addrs)}
+	for i, addr := range addrs {
+		for v := 0; v < replicasPerBackend; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    pointHash(addr + "#" + strconv.Itoa(v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// pointHash places one virtual node: the first 8 bytes of SHA-256,
+// matching the strength of the graph-side key so point placement and
+// key placement are uniformly distributed over the same space.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// successors returns every backend index in ring order starting from
+// the owner of key: element 0 is the primary, element 1 the first
+// failover target, and so on — each distinct backend exactly once.
+// The order is a pure function of the key, so retries walk a stable
+// replica chain instead of stampeding a random backend.
+func (r *ring) successors(key [sha256.Size]byte) []int {
+	if r.n == 0 {
+		return nil
+	}
+	h := binary.BigEndian.Uint64(key[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}

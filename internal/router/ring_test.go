@@ -1,0 +1,68 @@
+package router
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// TestRingSuccessorsCoverAllBackendsOnce pins the failover chain
+// shape: every backend appears exactly once, the order is a pure
+// function of the key, and different keys spread over different
+// primaries.
+func TestRingSuccessorsCoverAllBackendsOnce(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(addrs)
+	primaries := map[int]int{}
+	for i := 0; i < 256; i++ {
+		key := sha256.Sum256([]byte(fmt.Sprintf("graph-%d", i)))
+		succ := r.successors(key)
+		if len(succ) != len(addrs) {
+			t.Fatalf("key %d: chain has %d backends, want %d", i, len(succ), len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, b := range succ {
+			if b < 0 || b >= len(addrs) || seen[b] {
+				t.Fatalf("key %d: bad or duplicate backend %d in %v", i, b, succ)
+			}
+			seen[b] = true
+		}
+		again := r.successors(key)
+		for j := range succ {
+			if succ[j] != again[j] {
+				t.Fatalf("key %d: successor order not stable: %v vs %v", i, succ, again)
+			}
+		}
+		primaries[succ[0]]++
+	}
+	// With 128 virtual nodes per backend, 256 keys over 4 backends
+	// should not all collapse onto one primary.
+	if len(primaries) < len(addrs) {
+		t.Fatalf("only %d of %d backends ever primary: %v", len(primaries), len(addrs), primaries)
+	}
+}
+
+// TestRingStableUnderReorder pins that point placement depends on the
+// backend address, not its slice position: reordering the fleet list
+// does not remap keys.
+func TestRingStableUnderReorder(t *testing.T) {
+	fwd := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rev := []string{"http://c:1", "http://b:1", "http://a:1"}
+	rf, rr := newRing(fwd), newRing(rev)
+	for i := 0; i < 64; i++ {
+		key := sha256.Sum256([]byte(fmt.Sprintf("graph-%d", i)))
+		a := fwd[rf.successors(key)[0]]
+		b := rev[rr.successors(key)[0]]
+		if a != b {
+			t.Fatalf("key %d: primary changed from %s to %s under list reorder", i, a, b)
+		}
+	}
+}
+
+// TestRingEmpty pins the degenerate case.
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil)
+	if got := r.successors(sha256.Sum256([]byte("x"))); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+}

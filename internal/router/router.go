@@ -1,0 +1,937 @@
+// Package router is the fleet front of the PBQP allocation service: a
+// thin HTTP shard router that spreads solve traffic across N
+// pbqp-serve backends and keeps answering while any replica survives.
+//
+// The request path, in order:
+//
+//   - canonicalize: the request graph is parsed and content-addressed
+//     with pbqp.CanonicalHash (SHA-256 over the byte-stable canonical
+//     serialization pinned by FuzzReadGraph), so two spellings of the
+//     same graph are the same key everywhere downstream; a raw-bytes →
+//     canonical-hash memo in the same LRU lets byte-identical repeats
+//     skip the parse entirely;
+//   - cache: a memory-bounded LRU solution cache answers repeat
+//     traffic without touching a backend — register allocation is
+//     dominated by recompiles of the same functions;
+//   - coalesce: N identical in-flight requests collapse into one
+//     backend solve (singleflight); followers wait for the leader's
+//     answer under their own deadlines;
+//   - shard: the graph hash picks a backend by consistent hashing, so
+//     repeat traffic for a graph keeps hitting the same replica and
+//     adding a backend remaps only ~1/N of the key space;
+//   - forward: per-try timeouts are carved from the request deadline,
+//     failures (connection errors, 5xx, timeouts) fail over along the
+//     ring with capped exponential backoff + jitter, and backend
+//     Retry-After hints are honored;
+//   - protect: active health checks (/readyz probes) plus passive
+//     circuit breakers (consecutive-failure trip, half-open probes)
+//     eject dead or draining backends and re-admit them without
+//     operator action;
+//   - degrade: under total backend loss the router keeps serving cache
+//     hits and sheds the rest with 503 + Retry-After instead of
+//     hanging.
+//
+// The router reuses the internal/server admission pool (bounded
+// forwarding concurrency, load shedding, drain barrier) and metrics
+// registry for its own endpoint; new metric families cover cache
+// hits/misses/evictions, coalesced requests, per-backend tries and
+// failovers, and breaker state.
+package router
+
+import (
+	"bytes"
+	"context"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pbqprl/internal/failpoint"
+	"pbqprl/internal/pbqp"
+	"pbqprl/internal/server"
+	"pbqprl/internal/server/metrics"
+)
+
+// Config tunes a Router. Backends is the only required field; every
+// other zero value falls back to the documented default.
+type Config struct {
+	// Backends are the pbqp-serve base URLs, e.g.
+	// "http://10.0.0.1:8723". At least one is required.
+	Backends []string
+	// CacheBytes bounds the solution cache's memory. Default: 64 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// MaxTries is the total forwarding attempts per request across all
+	// backends. Default: 4.
+	MaxTries int
+	// MinTryTimeout floors the per-try deadline slice so late tries
+	// are not starved into guaranteed failure. Default: 50ms.
+	MinTryTimeout time.Duration
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between failover rounds. Defaults: 25ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// backend's circuit breaker open. Default: 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// admitting a half-open probe request. Default: 2s.
+	BreakerCooldown time.Duration
+	// HealthInterval is the active health-check period; 0 disables
+	// active checking (passive breakers still run). cmd/pbqp-router
+	// defaults its flag to 1s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one active probe. Default: 1s.
+	HealthTimeout time.Duration
+	// Workers/QueueDepth size the admission pool for forwarded
+	// requests. Forwarding is I/O-bound, so the defaults are larger
+	// than a solve pool's: 256 workers, queue 512.
+	Workers    int
+	QueueDepth int
+	// MaxRequestBytes caps the request body. Default: 4 MiB.
+	MaxRequestBytes int64
+	// MaxResponseBytes caps a backend response body. Default: 16 MiB.
+	MaxResponseBytes int64
+	// DefaultDeadline/MaxDeadline mirror the backend's deadline knobs.
+	// Defaults: 2s / 30s.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the floor for Retry-After hints on 429/503
+	// answers. Default: 1s.
+	RetryAfter time.Duration
+	// ReadLimits tightens the PBQP parser caps for request bodies.
+	ReadLimits pbqp.ReadLimits
+	// Client issues backend requests; nil builds one with a pooled
+	// transport and no global timeout (per-try contexts govern).
+	Client *http.Client
+	// JitterSeed seeds the backoff jitter RNG; 0 draws a random seed.
+	// Tests pin it for reproducible backoff schedules.
+	JitterSeed uint64
+	// Logf receives operational log lines. Nil uses a no-op.
+	Logf func(format string, args ...any)
+	// Registry receives the router's metrics. Nil creates a fresh one.
+	Registry *metrics.Registry
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxTries <= 0 {
+		c.MaxTries = 4
+	}
+	if c.MinTryTimeout <= 0 {
+		c.MinTryTimeout = 50 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 4 << 20
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = 16 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.JitterSeed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			c.JitterSeed = binary.LittleEndian.Uint64(b[:])
+		}
+		if c.JitterSeed == 0 {
+			c.JitterSeed = 1
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Router is the fleet front. Create with New, expose via Handler,
+// stop via Drain.
+type Router struct {
+	cfg      Config
+	reg      *metrics.Registry
+	adm      *server.Admission
+	cache    *Cache
+	flights  *flightGroup
+	ring     *ring
+	backends []*backend
+	client   *http.Client
+	mux      *http.ServeMux
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	healthCancel context.CancelFunc
+	healthDone   chan struct{}
+}
+
+// Sentinel errors for the forward path, mapped to HTTP statuses in
+// handleSolve.
+var (
+	// errNoBackends means no backend was available for the whole
+	// attempt budget: everything ejected, tripped, or hinting away.
+	errNoBackends = errors.New("router: no backend available")
+	// errUpstream wraps the last upstream failure after the attempt
+	// budget was exhausted.
+	errUpstream = errors.New("router: all forwarding attempts failed")
+)
+
+// New builds a Router over the configured backend fleet and starts its
+// active health loop (when HealthInterval > 0).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: at least one backend is required")
+	}
+	r := &Router{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		adm:     server.NewAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:   NewCache(cfg.CacheBytes),
+		flights: newFlightGroup(),
+		client:  cfg.Client,
+		mux:     http.NewServeMux(),
+		jitter:  rand.New(rand.NewPCG(cfg.JitterSeed, 0x9e3779b97f4a7c15)),
+	}
+	seen := map[string]bool{}
+	for _, addr := range cfg.Backends {
+		b, err := newBackend(addr)
+		if err != nil {
+			return nil, err
+		}
+		if seen[b.addr] {
+			return nil, fmt.Errorf("router: duplicate backend %q", addr)
+		}
+		seen[b.addr] = true
+		r.backends = append(r.backends, b)
+	}
+	r.ring = newRing(cfg.Backends)
+	r.mux.HandleFunc("/v1/solve", r.handleSolve)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/readyz", r.handleReadyz)
+	r.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	r.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	r.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	r.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	r.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	r.publishBackendGauges()
+	r.healthDone = make(chan struct{})
+	if cfg.HealthInterval > 0 {
+		var hctx context.Context
+		hctx, r.healthCancel = context.WithCancel(context.Background())
+		go r.healthLoop(hctx)
+	} else {
+		close(r.healthDone)
+	}
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Registry returns the router's metrics registry.
+func (r *Router) Registry() *metrics.Registry { return r.reg }
+
+// CacheStats exposes the solution cache counters for tests and the
+// fleet smoke stage.
+func (r *Router) CacheStats() (hits, misses, evictions int64) { return r.cache.Stats() }
+
+// Draining reports whether the router has begun draining.
+func (r *Router) Draining() bool { return r.adm.IsDraining() }
+
+// Drain gracefully shuts the forward path down: admission flips to
+// draining (new solves and readyz answer 503), accepted requests run
+// to completion, the workers exit, and the health loop stops.
+func (r *Router) Drain(ctx context.Context) error {
+	r.cfg.Logf("router: draining (queued: %d)", r.adm.Depth())
+	err := r.adm.Drain(ctx)
+	if r.healthCancel != nil {
+		r.healthCancel()
+	}
+	<-r.healthDone
+	r.client.CloseIdleConnections()
+	if err != nil {
+		r.cfg.Logf("router: drain incomplete: %v", err)
+		return err
+	}
+	r.cfg.Logf("router: drain complete")
+	return nil
+}
+
+// now is the router's only wall-clock read point, for deadline
+// arithmetic, breaker timing, and latency metrics.
+func now() time.Time {
+	//pbqpvet:ignore determinism serving-path timing is operational (deadlines, breakers, latency), never solver input
+	return time.Now()
+}
+
+// handleSolve is POST /v1/solve: canonicalize, consult the cache,
+// coalesce, forward with failover.
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	start := now()
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		st := sw.status
+		if st == 0 {
+			st = http.StatusOK
+		}
+		code := strconv.Itoa(st)
+		r.reg.Counter("http_requests_total." + code).Inc()
+		r.reg.Histogram("http_request_seconds." + code).Observe(now().Sub(start))
+	}()
+
+	if req.Method != http.MethodPost {
+		sw.Header().Set("Allow", http.MethodPost)
+		r.writeError(sw, http.StatusMethodNotAllowed, "POST a PBQP graph in the textual format")
+		return
+	}
+	if r.adm.IsDraining() {
+		r.shed(sw, http.StatusServiceUnavailable, "router is draining; retry elsewhere")
+		return
+	}
+
+	knobs, err := r.parseKnobs(req)
+	if err != nil {
+		r.writeError(sw, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Canonicalize: key every downstream decision on the canonical
+	// graph hash so two spellings of the same graph share a cache slot,
+	// a flight, and a shard. The raw request bytes are hashed first and
+	// memoized against the canonical hash in the same bounded LRU:
+	// byte-identical repeats (the dominant recompile traffic) skip the
+	// parse entirely, while a new spelling pays one full parse +
+	// canonical serialization and lands on the same key.
+	raw, err := io.ReadAll(http.MaxBytesReader(sw, req.Body, r.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			r.writeError(sw, http.StatusRequestEntityTooLarge,
+				"request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+			return
+		}
+		r.writeError(sw, http.StatusBadRequest, err.Error())
+		return
+	}
+	var g *pbqp.Graph
+	var sum [sha256.Size]byte
+	rawKey := rawCacheKey(raw)
+	if _, memo, ok := r.cache.Get(rawKey); ok && len(memo) == sha256.Size {
+		copy(sum[:], memo)
+	} else {
+		if g, err = r.parseGraph(raw); err != nil {
+			r.writeError(sw, http.StatusBadRequest, err.Error())
+			return
+		}
+		if sum, err = pbqp.CanonicalHash(g); err != nil {
+			r.writeError(sw, http.StatusBadRequest, err.Error())
+			return
+		}
+		r.cache.Put(rawKey, 0, append([]byte(nil), sum[:]...))
+	}
+	key := cacheKey(sum, knobs)
+
+	if status, cached, ok := r.cache.Get(key); ok {
+		r.reg.Counter("router_cache_hits_total").Inc()
+		sw.Header().Set("X-PBQP-Cache", "hit")
+		writeRaw(sw, status, cached)
+		return
+	}
+	r.reg.Counter("router_cache_misses_total").Inc()
+
+	// A raw-memo hit that misses the solution cache (evicted, or a new
+	// knob combination) still needs the parsed graph to forward.
+	if g == nil {
+		if g, err = r.parseGraph(raw); err != nil {
+			r.writeError(sw, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	// The solve context is detached from this client's connection: a
+	// coalesced flight may be feeding many waiters, and the leader
+	// hanging up must not strand the followers. The deadline still
+	// binds it, so an abandoned flight dies with the request budget.
+	solveCtx, cancel := context.WithTimeout(context.WithoutCancel(req.Context()), knobs.deadline)
+	defer cancel()
+
+	res, leader := r.flights.Do(req.Context(), key, func() flightResult {
+		return r.submitForward(solveCtx, g, sum, knobs)
+	})
+	if !leader {
+		r.reg.Counter("router_coalesced_total").Inc()
+	}
+
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, server.ErrQueueFull):
+			r.reg.Counter("requests_shed_total").Inc()
+			sw.Header().Set("Retry-After", retryAfterSeconds(r.retryAfterHint()))
+			r.writeError(sw, http.StatusTooManyRequests, "router queue full; retry after backoff")
+		case errors.Is(res.err, server.ErrDraining):
+			r.shed(sw, http.StatusServiceUnavailable, "router is draining; retry elsewhere")
+		case errors.Is(res.err, errNoBackends):
+			r.reg.Counter("requests_shed_total").Inc()
+			r.shed(sw, http.StatusServiceUnavailable, "no backend available; retry after backoff")
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			r.writeError(sw, http.StatusGatewayTimeout, "deadline exhausted before any backend answered")
+		default:
+			r.writeError(sw, http.StatusBadGateway, res.err.Error())
+		}
+		return
+	}
+
+	if cacheable(res.status, res.body) {
+		r.cache.Put(key, res.status, res.body)
+		r.publishCacheGauges()
+	}
+	if leader {
+		sw.Header().Set("X-PBQP-Cache", "miss")
+	} else {
+		sw.Header().Set("X-PBQP-Cache", "coalesced")
+	}
+	writeRaw(sw, res.status, res.body)
+}
+
+// submitForward runs one forward through the admission pool: bounded
+// concurrency, load shedding, and a drain barrier, exactly like the
+// backend's solve pool. The graph is serialized once here — the
+// canonical bytes, so backends see identical bodies for identical
+// graphs across every retry.
+func (r *Router) submitForward(ctx context.Context, g *pbqp.Graph, sum [sha256.Size]byte, k knobs) flightResult {
+	var buf bytes.Buffer
+	if err := pbqp.Write(&buf, g); err != nil {
+		return flightResult{err: err}
+	}
+	var res flightResult
+	job := server.NewJob(func() {
+		r.reg.Gauge("requests_inflight").Add(1)
+		defer r.reg.Gauge("requests_inflight").Add(-1)
+		res = r.forward(ctx, buf.Bytes(), sum, k)
+	})
+	if err := r.adm.Submit(job); err != nil {
+		return flightResult{err: err}
+	}
+	<-job.Done()
+	if panicked, val, _ := job.Panicked(); panicked {
+		return flightResult{err: fmt.Errorf("router: forward panicked: %s", val)}
+	}
+	return res
+}
+
+// forward pushes one solve to the fleet: walk the key's replica chain,
+// carve a per-try timeout from the remaining deadline, fail over on
+// connection errors / 5xx / timeouts with capped exponential backoff +
+// jitter, and honor backend Retry-After hints. The loop is bounded by
+// MaxTries and polls ctx at every turn, so a request can never hang
+// past its deadline.
+//
+//pbqpvet:ctxroot bounded retry loop must stay cancellable: every try and every backoff sleep polls ctx
+func (r *Router) forward(ctx context.Context, body []byte, sum [sha256.Size]byte, k knobs) flightResult {
+	candidates := r.ring.successors(sum)
+	backoff := r.cfg.BackoffBase
+	var lastErr error
+	for try := 0; try < r.cfg.MaxTries; try++ {
+		if err := ctx.Err(); err != nil {
+			return flightResult{err: err}
+		}
+		b := r.pickBackend(candidates, try)
+		if b == nil {
+			// Nobody is admitted right now. If no backend is even
+			// health-ready the fleet is gone: shed instead of burning
+			// the deadline. Otherwise a breaker cooldown or Retry-After
+			// window is in the way — wait it out under the deadline.
+			if !r.anyReady() {
+				return flightResult{err: errNoBackends}
+			}
+			if !sleepCtx(ctx, r.withJitter(backoff)) {
+				return flightResult{err: ctx.Err()}
+			}
+			backoff = nextBackoff(backoff, r.cfg.BackoffMax)
+			continue
+		}
+		r.reg.Counter("router_backend_tries_total." + b.label).Inc()
+		status, respBody, retryAfter, err := r.tryOnce(ctx, b, body, k, try)
+		if err == nil && status != http.StatusTooManyRequests && status < 500 {
+			b.success()
+			r.publishBackendGauges()
+			return flightResult{status: status, body: respBody}
+		}
+
+		// Retryable failure: classify, record, fail over.
+		r.reg.Counter("router_backend_failovers_total." + b.label).Inc()
+		switch {
+		case err != nil:
+			lastErr = err
+			r.noteFailure(b, "transport error: "+err.Error())
+		case status == http.StatusTooManyRequests, status == http.StatusServiceUnavailable:
+			// The backend answered coherently but asked for space
+			// (shedding or draining): honor its hint, no breaker
+			// penalty.
+			lastErr = fmt.Errorf("backend %s answered %d", b.label, status)
+			b.hintRetryAfter(now().Add(retryAfter))
+		default: // other 5xx
+			lastErr = fmt.Errorf("backend %s answered %d", b.label, status)
+			r.noteFailure(b, fmt.Sprintf("status %d", status))
+		}
+
+		// Back off only once per full lap of the replica chain:
+		// failover to the next replica is immediate, hammering the
+		// same shrinking set of survivors is not.
+		if (try+1)%len(candidates) == 0 {
+			if !sleepCtx(ctx, r.withJitter(backoff)) {
+				return flightResult{err: ctx.Err()}
+			}
+			backoff = nextBackoff(backoff, r.cfg.BackoffMax)
+		}
+	}
+	if lastErr == nil {
+		return flightResult{err: errNoBackends}
+	}
+	return flightResult{err: fmt.Errorf("%w (last: %v)", errUpstream, lastErr)}
+}
+
+// tryOnce sends one request to one backend under a timeout carved from
+// the remaining request budget: remaining/(tries left), floored at
+// MinTryTimeout, so early failures leave later tries usable slices.
+func (r *Router) tryOnce(ctx context.Context, b *backend, reqBody []byte, k knobs, try int) (status int, body []byte, retryAfter time.Duration, err error) {
+	deadline, ok := ctx.Deadline()
+	remaining := r.cfg.DefaultDeadline
+	if ok {
+		remaining = time.Until(deadline)
+	}
+	if remaining <= 0 {
+		return 0, nil, 0, context.DeadlineExceeded
+	}
+	triesLeft := r.cfg.MaxTries - try
+	slice := remaining / time.Duration(triesLeft)
+	if slice < r.cfg.MinTryTimeout {
+		slice = r.cfg.MinTryTimeout
+	}
+	if slice > remaining {
+		slice = remaining
+	}
+	tryCtx, cancel := context.WithTimeout(ctx, slice)
+	defer cancel()
+
+	// Chaos hook: an armed router/forward failpoint stands in for a
+	// connection that never establishes.
+	if err := failpoint.Hit("router/forward"); err != nil {
+		return 0, nil, 0, err
+	}
+
+	req, err := http.NewRequestWithContext(tryCtx, http.MethodPost,
+		b.addr+"/v1/solve", bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-PBQP-Deadline", slice.String())
+	if k.chain != "" {
+		req.Header.Set("X-PBQP-Chain", k.chain)
+	}
+	req.Header.Set("X-PBQP-Cost-Mode", k.costMode)
+
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer drainBody(resp)
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxResponseBytes+1))
+	if err != nil {
+		// A torn response (connection cut mid-body, short read against
+		// Content-Length) is a transport failure: fail over.
+		return 0, nil, 0, fmt.Errorf("reading backend response: %w", err)
+	}
+	// Chaos hook: an armed router/forward/read failpoint stands in for
+	// a response that tore after the status line.
+	if err := failpoint.Hit("router/forward/read"); err != nil {
+		return 0, nil, 0, err
+	}
+	if int64(len(respBody)) > r.cfg.MaxResponseBytes {
+		return 0, nil, 0, fmt.Errorf("backend response exceeds %d bytes", r.cfg.MaxResponseBytes)
+	}
+	return resp.StatusCode, respBody, parseRetryAfter(resp.Header.Get("Retry-After"), r.cfg.RetryAfter), nil
+}
+
+// pickBackend scans the key's replica chain, starting at the attempt
+// offset, for the first backend the breakers and health state admit.
+func (r *Router) pickBackend(candidates []int, try int) *backend {
+	if len(candidates) == 0 {
+		return nil
+	}
+	t := now()
+	start := try % len(candidates)
+	for i := 0; i < len(candidates); i++ {
+		b := r.backends[candidates[(start+i)%len(candidates)]]
+		if ok, _ := b.admit(t, r.cfg.BreakerCooldown); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// anyReady reports whether at least one backend is health-ready
+// (breaker state aside) — the difference between "wait for a cooldown"
+// and "the fleet is gone".
+func (r *Router) anyReady() bool {
+	for _, b := range r.backends {
+		if _, ready := b.snapshot(); ready {
+			return true
+		}
+	}
+	return false
+}
+
+// noteFailure records a request-path failure on b, publishing the trip
+// counter and breaker gauge when the breaker state changed.
+func (r *Router) noteFailure(b *backend, why string) {
+	if b.failure(now(), r.cfg.BreakerThreshold) {
+		r.reg.Counter("router_breaker_trips_total." + b.label).Inc()
+		r.cfg.Logf("router: breaker open for backend %s: %s", b.label, why)
+	}
+	r.publishBackendGauges()
+}
+
+// publishBackendGauges mirrors each backend's breaker state
+// (0 closed, 1 half-open, 2 open) and readiness into the registry.
+func (r *Router) publishBackendGauges() {
+	for _, b := range r.backends {
+		state, ready := b.snapshot()
+		r.reg.Gauge("router_breaker_state." + b.label).Set(state)
+		rdy := int64(0)
+		if ready {
+			rdy = 1
+		}
+		r.reg.Gauge("router_backend_ready." + b.label).Set(rdy)
+	}
+}
+
+// publishCacheGauges mirrors the cache's eviction count and memory
+// footprint into the registry (hits and misses are counted inline on
+// the request path). The eviction counter advances by the delta
+// against the cache's own total, so publishing at scrape time and
+// after inserts stays idempotent.
+func (r *Router) publishCacheGauges() {
+	_, _, evictions := r.cache.Stats()
+	r.syncCounter("router_cache_evictions_total", evictions)
+	r.reg.Gauge("router_cache_bytes").Set(r.cache.Bytes())
+	r.reg.Gauge("router_cache_entries").Set(int64(r.cache.Len()))
+}
+
+// syncCounter advances the named counter to total (counters only move
+// forward, so publish the delta).
+func (r *Router) syncCounter(name string, total int64) {
+	c := r.reg.Counter(name)
+	if d := total - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}
+
+// handleMetrics serves the registry snapshot with the sampled gauges
+// refreshed at scrape time.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	r.reg.Gauge("queue_depth").Set(int64(r.adm.Depth()))
+	r.publishBackendGauges()
+	r.publishCacheGauges()
+	r.reg.ServeHTTP(w, req)
+}
+
+// handleHealthz answers liveness: 200 as long as the process serves
+// HTTP, draining included.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": r.adm.IsDraining(),
+	})
+}
+
+// handleReadyz answers readiness: 200 while accepting, 503 (with a
+// Retry-After hint) once draining.
+func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if r.adm.IsDraining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(r.retryAfterHint()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// knobs are the request parameters that shape the answer — and
+// therefore the cache key.
+type knobs struct {
+	chain    string // normalized comma-joined solver chain; "" = backend default
+	costMode string // "zeroinf" or "spill"
+	deadline time.Duration
+}
+
+// parseKnobs extracts and normalizes the chain, deadline, and
+// cost-mode knobs (same names and header aliases as pbqp-serve).
+func (r *Router) parseKnobs(req *http.Request) (knobs, error) {
+	k := knobs{costMode: "zeroinf", deadline: r.cfg.DefaultDeadline}
+	if spec := knob(req, "chain", "X-PBQP-Chain"); spec != "" {
+		names := splitTrim(spec)
+		if len(names) == 0 {
+			return knobs{}, errors.New("chain selects no solvers")
+		}
+		k.chain = strings.Join(names, ",")
+	}
+	if spec := knob(req, "deadline", "X-PBQP-Deadline"); spec != "" {
+		d, err := time.ParseDuration(spec)
+		if err != nil || d <= 0 {
+			return knobs{}, errors.New("deadline wants a positive Go duration like 250ms")
+		}
+		k.deadline = d
+	}
+	if k.deadline > r.cfg.MaxDeadline {
+		k.deadline = r.cfg.MaxDeadline
+	}
+	switch mode := knob(req, "cost-mode", "X-PBQP-Cost-Mode"); mode {
+	case "", "zeroinf":
+		k.costMode = "zeroinf"
+	case "spill":
+		k.costMode = "spill"
+	default:
+		return knobs{}, errors.New(`cost-mode wants "zeroinf" or "spill"`)
+	}
+	return k, nil
+}
+
+// parseGraph parses a buffered request body under the hardening caps.
+func (r *Router) parseGraph(raw []byte) (*pbqp.Graph, error) {
+	return pbqp.ReadWithLimits(bytes.NewReader(raw), r.cfg.ReadLimits)
+}
+
+// cacheKey builds the content-addressed key: the canonical graph hash
+// plus every knob that changes the answer. The deadline is deliberately
+// excluded — a cached complete answer satisfies any deadline. The "s|"
+// prefix keeps solution entries disjoint from raw-memo entries in the
+// shared LRU.
+func cacheKey(sum [sha256.Size]byte, k knobs) string {
+	return "s|" + string(sum[:]) + "|" + k.chain + "|" + k.costMode
+}
+
+// rawCacheKey keys the raw-bytes → canonical-hash memo: a repeat of the
+// exact same request bytes resolves its canonical hash without a parse.
+func rawCacheKey(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return "r|" + string(sum[:])
+}
+
+// cacheable decides whether an upstream answer may be replayed to
+// future requests: complete feasible solves (200, not truncated) and
+// complete infeasibility verdicts (422). Truncated answers depend on
+// the deadline that produced them and are never cached.
+func cacheable(status int, body []byte) bool {
+	switch status {
+	case http.StatusUnprocessableEntity:
+		return true
+	case http.StatusOK:
+		var probe struct {
+			Result struct {
+				Truncated bool `json:"truncated"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &probe); err != nil {
+			return false
+		}
+		return !probe.Result.Truncated
+	default:
+		return false
+	}
+}
+
+// shed answers a request the router cannot serve right now with the
+// status and a Retry-After hint.
+func (r *Router) shed(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(r.retryAfterHint()))
+	r.writeError(w, status, msg)
+}
+
+// retryAfterHint scales the configured floor by admission-queue
+// pressure, the same shape as the backend's hint.
+func (r *Router) retryAfterHint() time.Duration {
+	return server.RetryAfterHint(r.cfg.RetryAfter, r.adm.Depth(), r.cfg.Workers)
+}
+
+// withJitter spreads d by ±50% so synchronized failures do not retry
+// in lockstep.
+func (r *Router) withJitter(d time.Duration) time.Duration {
+	r.jitterMu.Lock()
+	f := 0.5 + r.jitter.Float64()
+	r.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// nextBackoff doubles the backoff up to the configured ceiling.
+func nextBackoff(d, ceiling time.Duration) time.Duration {
+	d *= 2
+	if d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// parseRetryAfter reads a Retry-After header (whole seconds), falling
+// back to floor when absent or malformed.
+func parseRetryAfter(v string, floor time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return floor
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// knob reads one request knob: the header alias wins over the query
+// parameter.
+func knob(r *http.Request, query, header string) string {
+	if v := r.Header.Get(header); v != "" {
+		return v
+	}
+	return r.URL.Query().Get(query)
+}
+
+// splitTrim splits a comma-separated list, trimming blanks.
+func splitTrim(spec string) []string {
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// drainBody finishes and closes a response body so the transport can
+// reuse the connection.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// writeRaw replays a stored upstream answer.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// ErrorResponse is the JSON body of every router-originated error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error body with the given status.
+func (r *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// writeJSON sends v as a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// statusWriter records the status code actually written so the
+// deferred metrics observation sees it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

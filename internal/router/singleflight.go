@@ -1,0 +1,75 @@
+package router
+
+import (
+	"context"
+	"sync"
+)
+
+// singleflight coalesces concurrent identical work: the first caller
+// for a key becomes the leader and runs the function; every caller
+// that arrives while the leader is in flight becomes a follower and
+// just waits for the leader's answer. On a repetitive allocation
+// workload a recompile storm of one hot function costs one backend
+// solve instead of N.
+//
+// This is a from-scratch stdlib implementation (the module takes no
+// external dependencies) with one deliberate deviation from the
+// well-known x/sync shape: followers wait under their *own* context,
+// so a follower whose request deadline expires gets its context error
+// immediately instead of being held hostage by a slow leader. The
+// leader's execution context is the caller's responsibility — the
+// router hands Do a context detached from any single client
+// disconnect (context.WithoutCancel + the request deadline) so an
+// impatient leader cannot strand its followers.
+
+// flightResult is what a completed flight hands every waiter.
+type flightResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup tracks in-flight calls by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flightCall{}}
+}
+
+// Do runs fn for key, coalescing concurrent callers: exactly one
+// caller (the leader, leader=true) executes fn; the rest wait for its
+// result. A follower whose ctx expires first returns ctx.Err() without
+// waiting further. The key is forgotten once the leader finishes, so a
+// later request re-executes rather than reusing a stale flight.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() flightResult) (res flightResult, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, false
+		case <-ctx.Done():
+			return flightResult{err: ctx.Err()}, false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, true
+}

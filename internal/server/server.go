@@ -236,9 +236,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz answers readiness: 200 while accepting, 503 once
-// draining so load balancers stop routing new work here.
+// draining so load balancers stop routing new work here. The 503
+// carries the same load-derived Retry-After hint as the solve path, so
+// a router's health prober knows when to re-check a draining replica.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.adm.IsDraining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}

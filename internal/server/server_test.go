@@ -361,6 +361,11 @@ func TestGracefulDrain(t *testing.T) {
 		if rec.Code != http.StatusServiceUnavailable {
 			t.Fatalf("readyz during drain: %d, want 503", rec.Code)
 		}
+		// The readiness 503 carries the same load-derived hint as the
+		// solve path, so fleet probers know when to re-check.
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatal("readyz 503 without Retry-After")
+		}
 	}
 	{
 		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
