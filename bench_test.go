@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pbqprl"
+	"pbqprl/internal/analysis"
 	"pbqprl/internal/ate"
 	"pbqprl/internal/dist"
 	"pbqprl/internal/experiments"
@@ -798,6 +799,65 @@ func BenchmarkDistEpisodes(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_dist.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Static-analysis cost benchmark ---
+
+// BenchmarkVet measures pbqp-vet's analyzer wall-time over the full
+// module: every package is loaded and type-checked once (untimed
+// setup), then each iteration runs the whole analyzer suite — the
+// per-package analyzers plus the module-wide concurrency suite with
+// its call-graph index rebuilt from scratch. The result is written to
+// BENCH_vet.json so analysis cost is tracked as the tree grows; the
+// load-and-type-check time is reported alongside for context since CI
+// pays it once per vet run.
+func BenchmarkVet(b *testing.B) {
+	dirs, err := analysis.PackageDirs(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loadStart := time.Now()
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			b.Fatalf("load %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	loadSec := time.Since(loadStart).Seconds()
+	b.ResetTimer()
+	start := time.Now()
+	findings := 0
+	for i := 0; i < b.N; i++ {
+		diags, err := analysis.RunModule(pkgs, analysis.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(diags)
+	}
+	msPerRun := float64(time.Since(start).Milliseconds()) / float64(b.N)
+	b.ReportMetric(msPerRun, "ms/run")
+	report := struct {
+		Benchmark  string  `json:"benchmark"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Packages   int     `json:"packages"`
+		Analyzers  int     `json:"analyzers"`
+		Findings   int     `json:"findings"`
+		LoadSec    float64 `json:"load_and_typecheck_sec"`
+		MsPerRun   float64 `json:"analyze_ms_per_run"`
+	}{"BenchmarkVet", runtime.GOMAXPROCS(0), len(pkgs), len(analysis.All()), findings, loadSec, msPerRun}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_vet.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -132,6 +132,7 @@ func main() {
 		Handler:           coord.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	//pbqpvet:daemon serves the lease API until Shutdown below; ListenAndServe has no join handle
 	go func() {
 		log.Printf("lease API on %s, fingerprint %q", *addr, spec.Fingerprint())
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

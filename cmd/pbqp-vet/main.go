@@ -1,20 +1,32 @@
 // Command pbqp-vet runs the project's domain-invariant static
 // analyzers (internal/analysis) over the module:
 //
-//	determinism  no time.Now / global math/rand / map-order leaks in encode paths
+//	atomicmix    no plain access to variables touched via sync/atomic
 //	costarith    no raw arithmetic or comparison on cost.Cost outside internal/cost
 //	ctxpoll      every SolveCtx polls its context from each unbounded loop
+//	determinism  no time.Now / global math/rand / map-order leaks in encode paths
 //	floatcmp     no exact == / != on floats outside internal/cost
+//	goroleak     every go statement has a bounded exit path or a daemon marker
+//	hotalloc     no allocating tensor calls on //pbqpvet:hotpath-reachable paths
+//	lockorder    acyclic lock acquisition; no lock held across blocking ops
 //	panicfree    no panic in library code outside Must* and init
+//	wgmisuse     WaitGroup Add/Wait protocol; no by-value sync primitives
 //
 // Usage:
 //
-//	pbqp-vet [-json] [-only analyzer,analyzer] [patterns...]
+//	pbqp-vet [-json] [-counts] [-only analyzer,analyzer] [patterns...]
 //
 // Patterns are package directories; a trailing "/..." walks the tree
 // (skipping testdata and vendor). With no pattern it vets "./...".
-// Findings are suppressed line-by-line with
-// "//pbqpvet:ignore <analyzer> <reason>" on or directly above the line.
+// Every requested package is loaded first and analyzed in one
+// module-wide pass, so the concurrency analyzers (lockorder, goroleak,
+// atomicmix, wgmisuse) see call graphs and sync-object identity across
+// package boundaries. Findings are reported in one deterministic
+// file/line/col/analyzer order — -json output is byte-stable run to
+// run. Findings are suppressed line-by-line with
+// "//pbqpvet:ignore <analyzer> <reason>" on or directly above the line;
+// -counts appends a per-analyzer census of findings and suppression
+// sites so suppression creep stays visible in review.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
@@ -25,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
+	"sort"
 	"strings"
 
 	"pbqprl/internal/analysis"
@@ -39,6 +53,7 @@ func run(args []string, out io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	counts := fs.Bool("counts", false, "append per-analyzer totals of findings and //pbqpvet:ignore sites")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,19 +92,19 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
 		return 2
 	}
-	var findings []analysis.Diagnostic
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
 			return 2
 		}
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
-			return 2
-		}
-		findings = append(findings, diags...)
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.RunModule(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbqp-vet: %v\n", err)
+		return 2
 	}
 
 	if *jsonOut {
@@ -107,6 +122,9 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintln(out, d)
 		}
 	}
+	if *counts {
+		printCounts(out, analyzers, findings, analysis.IgnoreCensus(pkgs))
+	}
 	if len(findings) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(out, "pbqp-vet: %d finding(s)\n", len(findings))
@@ -114,6 +132,40 @@ func run(args []string, out io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printCounts renders the suppression census: per-analyzer totals of
+// reported findings and //pbqpvet:ignore sites, in analyzer-name
+// order, skipping all-zero rows.
+func printCounts(out io.Writer, analyzers []*analysis.Analyzer, findings []analysis.Diagnostic, ignores map[string]int) {
+	found := map[string]int{}
+	for _, d := range findings {
+		found[d.Analyzer]++
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	// Malformed-directive findings and ignores of analyzers outside the
+	// -only selection still deserve a row.
+	for name := range found {
+		if !slices.Contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	for name := range ignores {
+		if !slices.Contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-12s %9s %9s\n", "analyzer", "findings", "ignores")
+	for _, name := range names {
+		if found[name] == 0 && ignores[name] == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-12s %9d %9d\n", name, found[name], ignores[name])
+	}
 }
 
 // expandPatterns resolves package patterns to package directories.

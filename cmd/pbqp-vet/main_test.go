@@ -78,9 +78,75 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"costarith", "ctxpoll", "determinism", "floatcmp", "panicfree"} {
+	for _, name := range []string{
+		"atomicmix", "costarith", "ctxpoll", "determinism", "floatcmp",
+		"goroleak", "hotalloc", "lockorder", "panicfree", "wgmisuse",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-counts", "-only", "goroleak", fixtureRoot + "/goroleak"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "analyzer") || !strings.Contains(s, "findings") || !strings.Contains(s, "ignores") {
+		t.Fatalf("-counts output missing census header:\n%s", s)
+	}
+	// The goroleak fixture has annotated findings and one suppression
+	// site; both columns must be populated on the goroleak row.
+	var row string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "goroleak") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("-counts output has no goroleak row:\n%s", s)
+	}
+	fields := strings.Fields(row)
+	if len(fields) != 3 || fields[1] == "0" || fields[2] == "0" {
+		t.Errorf("goroleak census row = %q, want nonzero findings and ignores", row)
+	}
+}
+
+// TestRunModuleWide checks that several packages analyzed together go
+// through one module pass: findings from distinct fixture directories
+// come back in one deterministically sorted report.
+func TestRunModuleWide(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-json", "-only", "lockorder,wgmisuse",
+		fixtureRoot + "/lockorder", fixtureRoot + "/wgmisuse"}, &out)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput:\n%s", code, out.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	seen := map[string]bool{}
+	for i, d := range diags {
+		seen[d.Analyzer] = true
+		if i > 0 {
+			prev, cur := diags[i-1], d
+			if prev.File > cur.File || (prev.File == cur.File && prev.Line > cur.Line) {
+				t.Errorf("diagnostics out of order: %s:%d after %s:%d", cur.File, cur.Line, prev.File, prev.Line)
+			}
+		}
+	}
+	if !seen["lockorder"] || !seen["wgmisuse"] {
+		t.Errorf("expected findings from both packages, got analyzers %v", seen)
+	}
+	// Byte-stability: a second identical run must produce identical bytes.
+	var again bytes.Buffer
+	run([]string{"-json", "-only", "lockorder,wgmisuse",
+		fixtureRoot + "/lockorder", fixtureRoot + "/wgmisuse"}, &again)
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Error("-json output is not byte-stable across identical runs")
 	}
 }

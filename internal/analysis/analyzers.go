@@ -2,7 +2,10 @@ package analysis
 
 // All returns every analyzer in the suite, in report-name order.
 func All() []*Analyzer {
-	return []*Analyzer{CostArith, CtxPoll, Determinism, FloatCmp, HotAlloc, PanicFree}
+	return []*Analyzer{
+		AtomicMix, CostArith, CtxPoll, Determinism, FloatCmp,
+		GoroLeak, HotAlloc, LockOrder, PanicFree, WgMisuse,
+	}
 }
 
 // ByName resolves a comma-separable analyzer name, or nil.

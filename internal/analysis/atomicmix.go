@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces access-mode consistency: once any code passes a
+// variable's address to a sync/atomic function, every other access to
+// that variable must also be atomic. A plain read races the atomic
+// writers (the race detector only catches the schedules it sees), and
+// a plain write can tear the value out from under a concurrent
+// CompareAndSwap. The one exception is construction — New*/new*
+// functions and init, plus composite-literal field initialization —
+// where the object is not yet shared. The fix is usually mechanical:
+// use the sync/atomic typed wrappers (atomic.Int64 and friends), which
+// make mixed access unrepresentable.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere outside its constructor; plain reads race the " +
+		"atomic writers and plain writes tear CompareAndSwap",
+	RunModule: runAtomicMix,
+}
+
+func runAtomicMix(pass *ModulePass) error {
+	c := &atomicMixChecker{pass: pass, conc: pass.Conc, atomicVars: map[*types.Var]string{}}
+	// Pass 1: every &x handed to a sync/atomic function marks x.
+	for _, u := range c.conc.units {
+		forEachCall(u.body(), func(call *ast.CallExpr) {
+			fn := pkgFunc(u.info(), call)
+			if fn == nil || funcPath(fn) != "sync/atomic" || len(call.Args) == 0 {
+				return
+			}
+			// Only shared-by-design variables — struct fields and
+			// package-level vars — are tracked. A function-local counter
+			// updated atomically by worker goroutines and read plainly
+			// after the join is a correct idiom, not a mix.
+			if v := addrOperand(u.info(), call.Args[0]); v != nil && isSharedVar(v) {
+				if _, ok := c.atomicVars[v]; !ok {
+					c.atomicVars[v] = "atomic." + fn.Name() + " at " + describePos(pass.Fset, call.Pos())
+				}
+			}
+		})
+	}
+	if len(c.atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: find plain accesses to marked variables.
+	for _, u := range c.conc.units {
+		if inConstructor(u) {
+			continue
+		}
+		c.scanPlain(u)
+	}
+	return nil
+}
+
+type atomicMixChecker struct {
+	pass       *ModulePass
+	conc       *Conc
+	atomicVars map[*types.Var]string // var -> first atomic site, for the message
+}
+
+// isSharedVar reports whether v is a struct field or package-level
+// variable.
+func isSharedVar(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// inConstructor reports whether u (or, for literals, the named
+// function it is nested in) is construction code: a New*/new* function
+// or init, where the object is not yet published.
+func inConstructor(u *funcUnit) bool {
+	for ; u != nil; u = u.parent {
+		if u.decl == nil {
+			continue
+		}
+		name := u.decl.Name.Name
+		if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanPlain reports every use of a marked variable in u that is not
+// part of a sync/atomic call or a composite-literal initialization.
+func (c *atomicMixChecker) scanPlain(u *funcUnit) {
+	info := u.info()
+	// Idents appearing inside a sync/atomic call's address argument or
+	// as composite-literal keys are sanctioned; writes need their own
+	// wording.
+	allowed := map[*ast.Ident]bool{}
+	writes := map[*ast.Ident]bool{}
+	markTerminal := func(e ast.Expr, set map[*ast.Ident]bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			set[x] = true
+		case *ast.SelectorExpr:
+			set[x.Sel] = true
+		}
+	}
+	ast.Inspect(u.body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != u.lit {
+				return false // separate unit
+			}
+		case *ast.CallExpr:
+			if fn := pkgFunc(info, n); fn != nil && funcPath(fn) == "sync/atomic" && len(n.Args) > 0 {
+				if un, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); ok {
+					markTerminal(un.X, allowed)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						allowed[id] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markTerminal(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markTerminal(n.X, writes)
+		}
+		return true
+	})
+	ast.Inspect(u.body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != u.lit {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || allowed[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		site, marked := c.atomicVars[v]
+		if !marked {
+			return true
+		}
+		mode := "read"
+		if writes[id] {
+			mode = "write"
+		}
+		c.pass.Reportf(id.Pos(), "plain %s of %s, which is accessed atomically elsewhere (%s); mixed access races — use sync/atomic everywhere or a typed atomic wrapper", mode, labelForVar(info, v, nil), site)
+		return true
+	})
+}

@@ -177,32 +177,10 @@ func (c *ctxChecker) funcPolls(fn *types.Func) bool {
 }
 
 // reachable returns the same-package function declarations reachable
-// from root through static calls, root included.
+// from root through static calls, root included (the shared
+// reachability kernel in conc.go).
 func (c *ctxChecker) reachable(root *types.Func) []*ast.FuncDecl {
-	seen := map[*types.Func]bool{root: true}
-	queue := []*types.Func{root}
-	var out []*ast.FuncDecl
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		fd, ok := c.decls[fn]
-		if !ok {
-			continue
-		}
-		out = append(out, fd)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if callee := pkgFunc(c.pass.Info, call); callee != nil && !seen[callee] {
-					if _, local := c.decls[callee]; local {
-						seen[callee] = true
-						queue = append(queue, callee)
-					}
-				}
-			}
-			return true
-		})
-	}
-	return out
+	return reachableDecls(c.pass.Info, c.decls, root)
 }
 
 // checkLoops reports every unbounded loop in fd whose body cannot reach

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -36,13 +37,17 @@ func TestGolden(t *testing.T) {
 		fixture   string
 		analyzers []*Analyzer
 	}{
+		{"atomicmix", []*Analyzer{AtomicMix}},
 		{"determinism", []*Analyzer{Determinism}},
 		{"costarith", []*Analyzer{CostArith}},
 		{"ctxpoll", []*Analyzer{CtxPoll}},
 		{"floatcmp", []*Analyzer{FloatCmp}},
+		{"goroleak", []*Analyzer{GoroLeak}},
 		{"hotalloc", []*Analyzer{HotAlloc}},
+		{"lockorder", []*Analyzer{LockOrder}},
 		{"panicfree", []*Analyzer{PanicFree}},
 		{"suppress", []*Analyzer{FloatCmp, PanicFree}},
+		{"wgmisuse", []*Analyzer{WgMisuse}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -55,37 +60,73 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("run analyzers: %v", err)
 			}
-			wants := parseWants(t, dir)
-
-			got := map[string][]string{} // file:line -> messages
-			for _, d := range diags {
-				key := fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)
-				got[key] = append(got[key], d.Message)
-			}
-			for key, wantMsgs := range wants {
-				msgs := got[key]
-				if len(msgs) != len(wantMsgs) {
-					t.Errorf("%s: got %d finding(s) %q, want %d matching %q", key, len(msgs), msgs, len(wantMsgs), wantMsgs)
-					continue
-				}
-				used := make([]bool, len(msgs))
-			wantLoop:
-				for _, w := range wantMsgs {
-					for i, m := range msgs {
-						if !used[i] && strings.Contains(m, w) {
-							used[i] = true
-							continue wantLoop
-						}
-					}
-					t.Errorf("%s: no finding contains %q; got %q", key, w, msgs)
-				}
-			}
-			for key, msgs := range got {
-				if _, ok := wants[key]; !ok {
-					t.Errorf("%s: unexpected finding(s) %q", key, msgs)
-				}
+			for _, problem := range compareGolden(parseWants(t, dir), diags) {
+				t.Error(problem)
 			}
 		})
+	}
+}
+
+// compareGolden checks findings against `// want` annotations and
+// returns one message per mismatch: an annotated line whose findings
+// differ in count or content, or an unannotated line with findings. A
+// want that matches nothing is a mismatch — that property is what
+// keeps a silently dead analyzer from passing its fixture, and
+// TestGoldenHarness locks it in.
+func compareGolden(wants map[string][]string, diags []Diagnostic) []string {
+	var problems []string
+	got := map[string][]string{} // file:line -> messages
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.File), d.Line)
+		got[key] = append(got[key], d.Message)
+	}
+	for key, wantMsgs := range wants {
+		msgs := got[key]
+		if len(msgs) != len(wantMsgs) {
+			problems = append(problems, fmt.Sprintf("%s: got %d finding(s) %q, want %d matching %q", key, len(msgs), msgs, len(wantMsgs), wantMsgs))
+			continue
+		}
+		used := make([]bool, len(msgs))
+	wantLoop:
+		for _, w := range wantMsgs {
+			for i, m := range msgs {
+				if !used[i] && strings.Contains(m, w) {
+					used[i] = true
+					continue wantLoop
+				}
+			}
+			problems = append(problems, fmt.Sprintf("%s: no finding contains %q; got %q", key, w, msgs))
+		}
+	}
+	for key, msgs := range got {
+		if _, ok := wants[key]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: unexpected finding(s) %q", key, msgs))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// TestGoldenHarness guards the harness itself: a want annotation that
+// no diagnostic matches MUST fail the comparison (a dead analyzer
+// produces no findings, and its fixture would otherwise pass vacuously),
+// and extra findings on unannotated lines must fail too.
+func TestGoldenHarness(t *testing.T) {
+	wants := map[string][]string{"fixture.go:3": {"some finding"}}
+	if problems := compareGolden(wants, nil); len(problems) == 0 {
+		t.Fatalf("unmatched want produced no failure; a dead analyzer would pass its fixture")
+	}
+	match := Diagnostic{File: "a/fixture.go", Line: 3, Message: "exactly some finding here"}
+	if problems := compareGolden(wants, []Diagnostic{match}); len(problems) != 0 {
+		t.Fatalf("matching finding reported problems: %q", problems)
+	}
+	wrong := Diagnostic{File: "a/fixture.go", Line: 3, Message: "a different message"}
+	if problems := compareGolden(wants, []Diagnostic{wrong}); len(problems) == 0 {
+		t.Fatalf("mismatched message produced no failure")
+	}
+	extra := Diagnostic{File: "a/fixture.go", Line: 9, Message: "stray"}
+	if problems := compareGolden(wants, []Diagnostic{match, extra}); len(problems) != 1 {
+		t.Fatalf("stray finding on unannotated line: got %q, want exactly one problem", problems)
 	}
 }
 

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every spawned goroutine to have a bounded exit
+// path. Concretely, the code reachable from the goroutine body
+// (transitively through module-internal calls, excluding further
+// spawns) must either communicate — select, channel send/receive/
+// close, range over a channel — poll a context (ctx.Done / ctx.Err),
+// or signal a WaitGroup join via Done; and it must not contain a loop
+// that literally cannot exit (`for { ... }` with no break, return, or
+// terminating call). A goroutine with none of these runs unobserved
+// until process exit: nothing can stop it, nothing waits for it, and
+// under repeated spawning it is a leak. Deliberate process-lifetime
+// daemons opt out with //pbqpvet:daemon <reason> on the go statement
+// (or the spawned function's doc comment).
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement needs a bounded exit path: a ctx.Done/quit-channel " +
+		"select, a WaitGroup join, or channel communication reachable from the " +
+		"body, and no for-loop that cannot exit; //pbqpvet:daemon <reason> marks " +
+		"deliberate process-lifetime goroutines",
+	RunModule: runGoroLeak,
+}
+
+// leakFacts summarizes the lifecycle-relevant behavior reachable from
+// one function unit (excluding nested go spawns, which are their own
+// flows).
+type leakFacts struct {
+	chanOp       bool      // send, receive, close, select, range-over-channel
+	wgDone       bool      // sync.WaitGroup.Done — a join is observable
+	ctxPoll      bool      // ctx.Done() / ctx.Err()
+	exitlessLoop token.Pos // a `for {}` with no way out, or NoPos
+}
+
+func (f *leakFacts) merge(other *leakFacts) {
+	f.chanOp = f.chanOp || other.chanOp
+	f.wgDone = f.wgDone || other.wgDone
+	f.ctxPoll = f.ctxPoll || other.ctxPoll
+	if !f.exitlessLoop.IsValid() {
+		f.exitlessLoop = other.exitlessLoop
+	}
+}
+
+type goroLeakChecker struct {
+	pass     *ModulePass
+	conc     *Conc
+	facts    map[*funcUnit]*leakFacts
+	inFlight map[*funcUnit]bool
+}
+
+func runGoroLeak(pass *ModulePass) error {
+	c := &goroLeakChecker{
+		pass:     pass,
+		conc:     pass.Conc,
+		facts:    map[*funcUnit]*leakFacts{},
+		inFlight: map[*funcUnit]bool{},
+	}
+	for _, u := range c.conc.units {
+		ast.Inspect(u.body(), func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals are their own units; their spawns report there
+			}
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.checkSpawn(u, g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawn validates one go statement found in unit u.
+func (c *goroLeakChecker) checkSpawn(u *funcUnit, g *ast.GoStmt) {
+	spawned, spawnedName := c.spawnedUnit(u, g)
+	if reason, ok := c.spawnMarker(g, spawned); ok {
+		if reason == "" {
+			c.pass.Reportf(g.Pos(), "malformed daemon marker: want //pbqpvet:daemon <reason>")
+		}
+		return
+	}
+	if spawned == nil {
+		// Dynamic call through a function value: the body is unknowable
+		// statically; stay silent rather than guess.
+		return
+	}
+	facts := c.unitFacts(spawned)
+	if facts.exitlessLoop.IsValid() {
+		c.pass.Reportf(g.Pos(), "goroutine %s contains a for-loop with no exit path (%s): no break, return, or terminating call — select on ctx.Done() or a quit channel, or mark the spawn //pbqpvet:daemon <reason>",
+			spawnedName, describePos(c.pass.Fset, facts.exitlessLoop))
+		return
+	}
+	if !facts.chanOp && !facts.wgDone && !facts.ctxPoll {
+		c.pass.Reportf(g.Pos(), "goroutine %s is fire-and-forget: nothing joins it (no WaitGroup.Done), nothing can stop it (no ctx.Done/quit-channel select), and it communicates on no channel — bound its lifetime or mark the spawn //pbqpvet:daemon <reason>",
+			spawnedName)
+	}
+}
+
+// spawnedUnit resolves the goroutine body: a literal operand, or a
+// static call to a module-internal function.
+func (c *goroLeakChecker) spawnedUnit(u *funcUnit, g *ast.GoStmt) (*funcUnit, string) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		lu := c.conc.byLit[lit]
+		return lu, "(func literal)"
+	}
+	if fn := pkgFunc(u.info(), g.Call); fn != nil {
+		if cu := c.conc.byObj[fn]; cu != nil {
+			return cu, fn.Name()
+		}
+	}
+	return nil, ""
+}
+
+// spawnMarker looks for //pbqpvet:daemon covering the go statement
+// itself or, for named spawns, the spawned function's declaration.
+func (c *goroLeakChecker) spawnMarker(g *ast.GoStmt, spawned *funcUnit) (string, bool) {
+	if reason, ok := c.conc.daemonReason(c.pass.Fset, g.Pos()); ok {
+		return reason, true
+	}
+	if spawned != nil && spawned.decl != nil {
+		if reason, ok := c.conc.daemonReason(c.pass.Fset, spawned.decl.Pos()); ok {
+			return reason, true
+		}
+	}
+	return "", false
+}
+
+// unitFacts computes (memoized, cycle-safe) the lifecycle facts
+// reachable from u: its own body, non-spawned nested literals, and
+// module-internal callees. Nested go statements are excluded — a
+// goroutine does not inherit a bounded lifetime from goroutines it
+// spawns.
+func (c *goroLeakChecker) unitFacts(u *funcUnit) *leakFacts {
+	if f, ok := c.facts[u]; ok {
+		return f
+	}
+	if c.inFlight[u] {
+		return &leakFacts{}
+	}
+	c.inFlight[u] = true
+	defer delete(c.inFlight, u)
+	f := &leakFacts{}
+	c.scanFacts(u, f)
+	c.facts[u] = f
+	return f
+}
+
+func (c *goroLeakChecker) scanFacts(u *funcUnit, f *leakFacts) {
+	info := u.info()
+	// Calls that are the operand of a go statement are spawns, not
+	// synchronous callees: the spawner does not inherit their lifecycle.
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(u.body(), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(u.body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if lu := c.conc.byLit[n]; lu != nil && !lu.goSpawned {
+				f.merge(c.unitFacts(lu))
+			}
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			f.chanOp = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				f.chanOp = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					f.chanOp = true
+				}
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !f.exitlessLoop.IsValid() && loopIsExitless(info, n) {
+				f.exitlessLoop = n.Pos()
+			}
+		case *ast.CallExpr:
+			if !goCalls[n] {
+				c.scanCall(info, n, f)
+			}
+		}
+		return true
+	})
+}
+
+func (c *goroLeakChecker) scanCall(info *types.Info, call *ast.CallExpr, f *leakFacts) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			f.chanOp = true
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// ctx.Done() / ctx.Err() on a context.Context receiver.
+		if t := info.TypeOf(sel.X); t != nil && isContext(t) {
+			if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+				f.ctxPoll = true
+				return
+			}
+		}
+	}
+	if sc := classifySyncCall(info, call); sc != nil {
+		if sc.typ == "WaitGroup" && sc.method == "Done" {
+			f.wgDone = true
+		}
+		return
+	}
+	if cu := c.conc.calleeUnit(info, call); cu != nil {
+		f.merge(c.unitFacts(cu))
+	}
+}
+
+// loopIsExitless reports whether a `for { ... }` loop (no condition)
+// has no way out: no return, no terminating call, and no break that
+// targets it. Unlabeled breaks inside nested loops, switches, and
+// selects bind to the inner statement and do not count; any labeled
+// break is credited (resolving labels precisely buys little here).
+// Nested function literals run on their own and cannot break the loop.
+func loopIsExitless(info *types.Info, loop *ast.ForStmt) bool {
+	exits := false
+	var walk func(n ast.Node, breakable bool) // breakable: an unlabeled break here targets an inner stmt
+	walk = func(n ast.Node, nested bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exits {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+				return false
+			case *ast.BranchStmt:
+				if m.Tok == token.GOTO {
+					exits = true // assume the goto leaves the loop
+					return false
+				}
+				if m.Tok == token.BREAK && (m.Label != nil || !nested) {
+					exits = true
+					return false
+				}
+			case *ast.ExprStmt:
+				if isTerminatorCall(info, m.X) {
+					exits = true
+					return false
+				}
+			case *ast.ForStmt:
+				if m == loop {
+					return true
+				}
+				walk(m.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, true)
+				return false
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m != n {
+					walkBodies(m, func(body ast.Node) { walk(body, true) })
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(loop, false)
+	return !exits
+}
+
+// walkBodies applies fn to the clause bodies of a switch or select.
+func walkBodies(n ast.Node, fn func(ast.Node)) {
+	switch s := n.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			for _, stmt := range c.(*ast.CaseClause).Body {
+				fn(stmt)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			for _, stmt := range c.(*ast.CaseClause).Body {
+				fn(stmt)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			for _, stmt := range c.(*ast.CommClause).Body {
+				fn(stmt)
+			}
+		}
+	}
+}

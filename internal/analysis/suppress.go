@@ -81,6 +81,61 @@ func splitDirective(rest string) ([]string, string) {
 	return names, strings.TrimSpace(reason)
 }
 
+// merge folds other into s (allocating s when nil) so one table can
+// cover every package of a module run.
+func (s suppressions) merge(other suppressions) suppressions {
+	if s == nil {
+		return other
+	}
+	for file, lines := range other {
+		if s[file] == nil {
+			s[file] = lines
+			continue
+		}
+		for ln, set := range lines {
+			if s[file][ln] == nil {
+				s[file][ln] = set
+				continue
+			}
+			for n := range set {
+				s[file][ln][n] = true
+			}
+		}
+	}
+	return s
+}
+
+// IgnoreCensus counts //pbqpvet:ignore directive sites per analyzer
+// name across the packages' files. A directive naming several
+// analyzers counts once per name; malformed directives count under the
+// pseudo-analyzer "pbqpvet". The census feeds cmd/pbqp-vet -counts so
+// suppression creep stays visible in review.
+func IgnoreCensus(pkgs []*Package) map[string]int {
+	census := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					names, reason := splitDirective(rest)
+					if len(names) == 0 || reason == "" {
+						census["pbqpvet"]++
+						continue
+					}
+					for _, n := range names {
+						census[n]++
+					}
+				}
+			}
+		}
+	}
+	return census
+}
+
 // filter drops diagnostics covered by a suppression directive.
 func (s suppressions) filter(diags []Diagnostic) []Diagnostic {
 	kept := diags[:0]

@@ -1,0 +1,74 @@
+// Package atomicmix is a golden fixture for the atomicmix analyzer:
+// variables accessed via sync/atomic must be accessed atomically
+// everywhere outside construction.
+package atomicmix
+
+import "sync/atomic"
+
+type hits struct {
+	n     int64
+	other int64
+}
+
+func (h *hits) bump() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func (h *hits) load() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+func (h *hits) read() int64 {
+	return h.n // want "plain read"
+}
+
+func (h *hits) reset() {
+	h.n = 0 // want "plain write"
+}
+
+func (h *hits) incr() {
+	h.n++ // want "plain write"
+}
+
+// Constructors may initialize plainly: the object is not shared yet.
+func NewHits() *hits {
+	h := &hits{}
+	h.n = 0
+	return h
+}
+
+// Composite-literal keys are initialization, not access, even outside
+// a New* function.
+func fresh() *hits {
+	return &hits{n: 1}
+}
+
+// Fields never touched atomically are free to be plain.
+func (h *hits) touchOther() { h.other++ }
+
+// --- package-level variables ---
+
+var total int64
+
+func addTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func peekTotal() int64 {
+	return total // want "plain read"
+}
+
+// A function-local counter updated atomically by workers and read
+// after the join is a correct idiom, not a mix.
+func localCounter() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return n
+}
+
+// --- suppression with a per-site reason ---
+
+func (h *hits) snapshot() int64 {
+	//pbqpvet:ignore atomicmix single-threaded teardown path; all writers have been joined
+	return h.n
+}

@@ -1,0 +1,144 @@
+// Package goroleak is a golden fixture for the goroleak analyzer:
+// goroutines without a bounded exit path.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// --- positives ---
+
+func fireAndForget() {
+	go func() { // want "fire-and-forget"
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+func exitlessLoop() {
+	go func() { // want "for-loop with no exit path"
+		for {
+			work()
+		}
+	}()
+}
+
+// The loop may hide in a named spawn target, transitively.
+func namedLeak() {
+	go spin() // want "for-loop with no exit path"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// A break bound to an inner loop does not exit the outer one.
+func innerBreakOnly() {
+	go func() { // want "for-loop with no exit path"
+		for {
+			for {
+				break
+			}
+		}
+	}()
+}
+
+// --- negatives: each bounded-exit shape ---
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func quitBound(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func pumps(ch chan int) {
+	go pump(ch) // range over the channel bounds the lifetime
+}
+
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func closes(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+// --- daemon markers ---
+
+func daemon() {
+	//pbqpvet:daemon metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func namedDaemon() {
+	go serveForever()
+}
+
+// serveForever loops for the life of the process.
+//
+//pbqpvet:daemon lease heartbeat; stops only at process exit
+func serveForever() {
+	for {
+		work()
+	}
+}
+
+func badDaemon() {
+	//pbqpvet:daemon
+	go func() { // want "malformed daemon marker"
+		for {
+			work()
+		}
+	}()
+}
+
+// --- suppression with a per-site reason ---
+
+func suppressed() {
+	//pbqpvet:ignore goroleak benchmark warm-up helper; the process exits when it returns
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

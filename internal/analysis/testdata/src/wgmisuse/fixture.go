@@ -1,0 +1,99 @@
+// Package wgmisuse is a golden fixture for the wgmisuse analyzer:
+// WaitGroup Add/Wait protocol violations and by-value sync primitives.
+package wgmisuse
+
+import "sync"
+
+// --- Add inside the spawned goroutine ---
+
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "Add inside the goroutine"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// A WaitGroup declared inside the goroutine follows its own protocol.
+func localWG() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go inner.Done()
+		inner.Wait()
+	}()
+	<-done
+}
+
+// --- Add after Wait in straight-line code ---
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+	wg.Add(1) // want "Add after its Wait"
+	go worker(&wg)
+	wg.Wait()
+}
+
+// Waves in separate statement lists (the loop body restarts the list)
+// are left alone: source order no longer proves reuse.
+func wavesInLoop() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go worker(&wg)
+		wg.Wait()
+	}
+}
+
+// The canonical protocol is silent.
+func proper() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// --- by-value sync primitives in signatures ---
+
+func byValueParam(wg sync.WaitGroup) { // want "by value"
+	wg.Wait()
+}
+
+type config struct {
+	mu   sync.Mutex
+	name string
+}
+
+// Containment is walked through struct fields: the helper copies the
+// mutex along with the config.
+func useConfig(c config) string { // want "by value"
+	return c.name
+}
+
+type gauge struct{ mu sync.Mutex }
+
+func (g gauge) value() int { // want "by value"
+	return 0
+}
+
+// Pointers, slices and maps share rather than copy.
+func okPtr(wg *sync.WaitGroup)    { wg.Wait() }
+func okSlice(gs []gauge) int      { return len(gs) }
+func okPtrRecv(g *gauge) struct{} { return struct{}{} }
+
+// --- suppression with a per-site reason ---
+
+//pbqpvet:ignore wgmisuse value receiver reads an immutable snapshot taken before any goroutine starts
+func (g gauge) snapshot() int {
+	return 1
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WgMisuse catches the three standing WaitGroup/sync-value mistakes:
+//
+//   - wg.Add called inside the spawned goroutine it accounts for. The
+//     spawner can reach Wait before the goroutine runs, see a zero
+//     counter, and return while work is still in flight; Add must
+//     happen-before the go statement.
+//   - wg.Add after wg.Wait on the same WaitGroup in straight-line
+//     code. Reusing a WaitGroup for a second wave is legal only once
+//     Wait has returned everywhere; an Add racing a concurrent Wait
+//     panics ("WaitGroup misuse"). Flagged only within one statement
+//     list, where the reuse is unambiguous.
+//   - sync primitives passed by value through parameters or receivers.
+//     A copied mutex forks the lock state (two lockers both succeed); a
+//     copied WaitGroup forks the counter. go vet's copylocks catches
+//     direct copies; this check also walks struct containment so a
+//     helper taking a config struct with an embedded mutex is caught.
+var WgMisuse = &Analyzer{
+	Name: "wgmisuse",
+	Doc: "WaitGroup protocol: Add before the go statement (never inside the " +
+		"spawned goroutine), never Add after Wait in the same flow, and never " +
+		"pass sync primitives by value through parameters or receivers",
+	RunModule: runWgMisuse,
+}
+
+func runWgMisuse(pass *ModulePass) error {
+	c := &wgMisuseChecker{pass: pass, conc: pass.Conc}
+	for _, u := range c.conc.units {
+		if u.goSpawned {
+			c.checkAddInSpawn(u)
+		}
+		c.checkAddAfterWait(u)
+		c.checkByValueSync(u)
+	}
+	return nil
+}
+
+type wgMisuseChecker struct {
+	pass *ModulePass
+	conc *Conc
+}
+
+// checkAddInSpawn flags wg.Add inside a go-spawned literal when the
+// WaitGroup is declared outside it — the Add races the spawner's Wait.
+// The check is directly syntactic (not threaded through calls): a
+// callee that does its own Add under its own protocol, like a pool's
+// Submit, is not the bug this catches.
+func (c *wgMisuseChecker) checkAddInSpawn(u *funcUnit) {
+	info := u.info()
+	forEachCall(u.body(), func(call *ast.CallExpr) {
+		sc := classifySyncCall(info, call)
+		if sc == nil || sc.typ != "WaitGroup" || sc.method != "Add" || sc.recv == nil {
+			return
+		}
+		if declaredWithin(sc.recv, u.lit) {
+			return // goroutine-local WaitGroup: its own protocol
+		}
+		c.pass.Reportf(call.Pos(), "%s.Add inside the goroutine it accounts for: the spawner's Wait can observe a zero counter before this runs — call Add before the go statement", sc.label)
+	})
+}
+
+// declaredWithin reports whether v's declaration lies inside node's
+// source range.
+func declaredWithin(v *types.Var, node ast.Node) bool {
+	if node == nil || v.IsField() {
+		return false
+	}
+	return v.Pos() >= node.Pos() && v.Pos() < node.End()
+}
+
+// checkAddAfterWait flags Add-after-Wait on the same WaitGroup within
+// one statement list. Straight-line source order makes the reuse
+// certain; loops and cross-function reuse are left to the race
+// detector rather than guessed at.
+func (c *wgMisuseChecker) checkAddAfterWait(u *funcUnit) {
+	info := u.info()
+	for _, list := range stmtLists(u.body()) {
+		waited := map[*types.Var]token.Pos{}
+		for _, stmt := range list {
+			forEachCall(stmt, func(call *ast.CallExpr) {
+				sc := classifySyncCall(info, call)
+				if sc == nil || sc.typ != "WaitGroup" || sc.recv == nil {
+					return
+				}
+				switch sc.method {
+				case "Wait":
+					if _, ok := waited[sc.recv]; !ok {
+						waited[sc.recv] = call.Pos()
+					}
+				case "Add":
+					if wpos, ok := waited[sc.recv]; ok {
+						c.pass.Reportf(call.Pos(), "%s.Add after its Wait (%s) reuses the WaitGroup; an Add racing a straggling Wait panics — use a fresh WaitGroup per wave", sc.label, describePos(c.pass.Fset, wpos))
+					}
+				}
+			})
+		}
+	}
+}
+
+// stmtLists yields every statement list in body (the body itself,
+// nested blocks, if/for/case/comm bodies), excluding nested function
+// literals.
+func stmtLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			lists = append(lists, n.List)
+		case *ast.CaseClause:
+			lists = append(lists, n.Body)
+		case *ast.CommClause:
+			lists = append(lists, n.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+// checkByValueSync flags receivers and parameters whose type contains
+// a sync primitive by value.
+func (c *wgMisuseChecker) checkByValueSync(u *funcUnit) {
+	var fields []*ast.Field
+	if u.decl != nil {
+		if u.decl.Recv != nil {
+			fields = append(fields, u.decl.Recv.List...)
+		}
+		if u.decl.Type.Params != nil {
+			fields = append(fields, u.decl.Type.Params.List...)
+		}
+	} else if u.lit.Type.Params != nil {
+		fields = append(fields, u.lit.Type.Params.List...)
+	}
+	info := u.info()
+	for _, f := range fields {
+		t := info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if s := syncTypeIn(t); s != "" {
+			what := "parameter"
+			if u.decl != nil && u.decl.Recv != nil && len(u.decl.Recv.List) > 0 && f == u.decl.Recv.List[0] {
+				what = "receiver"
+			}
+			c.pass.Reportf(f.Type.Pos(), "%s passes %s by value; every call copies the primitive and forks its state — take a pointer", what, s)
+		}
+	}
+}

@@ -73,9 +73,18 @@ type cacheKey struct {
 	tag  string
 }
 
+// netEntry is one in-flight or completed training run. ready closes
+// once n is set, so duplicate requesters wait on the channel instead
+// of holding netCacheMu across a training run (minutes) — the mutex
+// only ever guards map access.
+type netEntry struct {
+	ready chan struct{}
+	n     *net.PBQPNet
+}
+
 var (
 	netCacheMu sync.Mutex
-	netCache   = map[cacheKey]*net.PBQPNet{}
+	netCache   = map[cacheKey]*netEntry{}
 )
 
 // TrainedNet returns the ATE-regime network for spec, training it on
@@ -88,19 +97,33 @@ func TrainedNet(spec TrainSpec, progress func(string)) *net.PBQPNet {
 // trainedNetWith trains (or loads) a network for the given training
 // graph distribution and coloring order, keyed by (spec, tag).
 func trainedNetWith(spec TrainSpec, gen func(*rand.Rand) *pbqp.Graph, order game.Order, tag string, progress func(string)) *net.PBQPNet {
-	netCacheMu.Lock()
-	defer netCacheMu.Unlock()
 	key := cacheKey{spec: spec, tag: tag}
-	if n, ok := netCache[key]; ok {
-		return n
+	netCacheMu.Lock()
+	e, inFlight := netCache[key]
+	if !inFlight {
+		e = &netEntry{ready: make(chan struct{})}
+		netCache[key] = e
 	}
+	netCacheMu.Unlock()
+	if inFlight {
+		<-e.ready
+		return e.n
+	}
+	e.n = buildNet(spec, gen, order, tag, progress)
+	close(e.ready)
+	return e.n
+}
+
+// buildNet loads the network for (spec, tag) from the disk cache or
+// trains it from scratch. Callers hold no lock: training takes minutes
+// and must not serialize unrelated cache lookups.
+func buildNet(spec TrainSpec, gen func(*rand.Rand) *pbqp.Graph, order game.Order, tag string, progress func(string)) *net.PBQPNet {
 	n := net.New(DefaultNetConfig())
 	path := cachePath(spec, tag)
 	if f, err := os.Open(path); err == nil {
 		err = n.Load(f)
 		f.Close()
 		if err == nil {
-			netCache[key] = n
 			if progress != nil {
 				progress(fmt.Sprintf("loaded cached net %s", path))
 			}
@@ -147,7 +170,6 @@ func trainedNetWith(spec TrainSpec, gen func(*rand.Rand) *pbqp.Graph, order game
 	if data, err := best.SaveBytes(); err == nil {
 		_ = checkpoint.WriteFileAtomic(path, data)
 	}
-	netCache[key] = best
 	return best
 }
 
