@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	pbqp-gen [-kind er|zeroinf] [-n N] [-m M] [-pedge P] [-pinf P] [-seed S] [-dot out.dot] > problem.pbqp
+//	pbqp-gen [-kind er|zeroinf|large] [-n N] [-m M] [-pedge P] [-pinf P] [-seed S] [-dot out.dot] > problem.pbqp
+//
+// -kind large emits the big-graph workload for the decomposition
+// pipeline (pbqp-solve -decompose): chains of dense circulant clusters
+// joined by bridges, with -components connected components, clusters of
+// -cluster vertices, and -chords extra random edges per cluster.
 package main
 
 import (
@@ -18,12 +23,15 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "er", "er (Erdős–Rényi, paper's training distribution) or zeroinf (ATE-style)")
+	kind := flag.String("kind", "er", "er (Erdős–Rényi, paper's training distribution), zeroinf (ATE-style), or large (sparse big-graph workload)")
 	n := flag.Int("n", 40, "vertices")
 	m := flag.Int("m", 13, "colors")
 	pEdge := flag.Float64("pedge", 0.2, "edge probability")
 	pInf := flag.Float64("pinf", 0.01, "infinite-entry ratio (er) / edge-entry ratio (zeroinf)")
 	hard := flag.Float64("hard", 0.4, "hard-vertex ratio (zeroinf only)")
+	components := flag.Int("components", 1, "connected components (large only)")
+	cluster := flag.Int("cluster", 12, "dense-cluster size (large only)")
+	chords := flag.Int("chords", 4, "extra random edges per cluster (large only)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dot := flag.String("dot", "", "also write Graphviz DOT to this file")
 	flag.Parse()
@@ -41,6 +49,11 @@ func main() {
 			N: *n, M: *m, PEdge: *pEdge, HardRatio: *hard, PEdgeInf: max(*pInf, 0.25),
 		})
 		fmt.Fprintf(os.Stderr, "# hidden zero-cost solution: %v\n", hidden)
+	case "large":
+		g = randgraph.LargeSparse(rng, randgraph.LargeSparseConfig{
+			N: *n, M: *m, Components: *components, ClusterSize: *cluster,
+			Chords: *chords, PInf: *pInf,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "pbqp-gen: unknown kind %q\n", *kind)
 		os.Exit(2)

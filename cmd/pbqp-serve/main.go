@@ -61,7 +61,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 4<<20, "request body size cap in bytes")
 	defaultDeadline := flag.Duration("default-deadline", 2*time.Second, "per-request solve budget when the client does not set one")
 	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on client-requested deadlines")
-	chain := flag.String("chain", "rl-bt,liberty,scholz", "default solver fallback chain (comma separated)")
+	chain := flag.String("chain", "rl-bt,liberty,scholz", "default solver fallback chain (comma separated; prefix a stage with decomp: to route it through the big-graph decomposition pipeline)")
 	netPath := flag.String("net", "", "network checkpoint for rl stages (empty: uniform prior)")
 	k := flag.Int("k", 50, "MCTS simulations per action for rl stages")
 	orderFlag := flag.String("order", "dec", "coloring order for rl stages: fixed, random, inc, dec")

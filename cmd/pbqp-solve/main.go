@@ -18,6 +18,16 @@
 // one JSON line on stderr (a single -solver reports as a one-stage
 // chain) — the same struct pbqp-serve returns in its responses.
 //
+// -decompose routes the solve through the big-graph pipeline
+// (internal/decomp): exact R0/R1/R2 reduction, block-cut splitting of
+// the residual, per-block solving with the selected solver, and
+// recombination. -decomp-workers bounds component parallelism (0
+// auto-selects GOMAXPROCS for the stateless solvers and 1 for the rl
+// solvers, whose scratch buffers are not concurrency-safe). With
+// -stats-json, the decomposition statistics (eliminated vertices,
+// component/block counts, largest block) join the report under
+// "decomposition".
+//
 // Exit status:
 //
 //	0  a feasible selection was found and the search completed
@@ -33,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"pbqprl/internal/decomp"
 	"pbqprl/internal/experiments"
 	"pbqprl/internal/game"
 	"pbqprl/internal/mcts"
@@ -64,6 +76,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = unlimited); exceeding it returns the best-so-far with exit status 3")
 	usePortfolio := flag.Bool("portfolio", false, "run the deep-rl+backtrack → liberty → scholz fallback chain under -timeout instead of -solver")
 	statsJSON := flag.Bool("stats-json", false, "print per-stage solver stats as JSON to stderr — the same portfolio.Stats struct pbqp-serve returns")
+	decompose := flag.Bool("decompose", false, "solve via the big-graph pipeline: reduce, split into biconnected blocks, solve blocks with the selected solver, recombine")
+	decompWorkers := flag.Int("decomp-workers", 0, "parallel component solves for -decompose (0 = auto: GOMAXPROCS for stateless solvers, 1 for rl)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pbqp-solve [flags] file.pbqp")
@@ -98,13 +112,20 @@ func main() {
 		}}
 	}
 
+	wrapDecomp := func(inner solve.Solver) solve.Solver {
+		if !*decompose {
+			return inner
+		}
+		return &decomp.Solver{Inner: inner, Workers: autoWorkers(inner, *decompWorkers)}
+	}
+
 	var s solve.Solver
 	switch {
 	case *usePortfolio:
 		s = portfolio.New(*timeout,
-			rlSolver(true),
-			liberty.Solver{MaxStates: *maxStates},
-			scholz.Solver{},
+			wrapDecomp(rlSolver(true)),
+			wrapDecomp(liberty.Solver{MaxStates: *maxStates}),
+			wrapDecomp(scholz.Solver{}),
 		)
 	default:
 		switch *solver {
@@ -121,11 +142,13 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown solver %q", *solver))
 		}
+		s = wrapDecomp(s)
 	}
 
 	var res solve.Result
 	var stats *portfolio.Stats
 	var jsonStats *portfolio.Stats
+	var decompInfo *decomp.Info
 	if p, ok := s.(*portfolio.Solver); ok {
 		// The portfolio manages its own -timeout budget itself; per-stage
 		// outcomes are worth reporting.
@@ -134,13 +157,19 @@ func main() {
 	} else {
 		//pbqpvet:ignore determinism -stats-json reports operational solve latency, never solver input
 		start := time.Now()
+		ctx, cancel := context.Background(), context.CancelFunc(func() {})
 		if *timeout > 0 {
-			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		if ds, ok := s.(*decomp.Solver); ok {
+			r, di := ds.SolveWithInfo(ctx, g)
+			res, decompInfo = r, &di
+		} else if *timeout > 0 {
 			res = solve.SolveCtx(ctx, s, g)
-			cancel()
 		} else {
 			res = s.Solve(g)
 		}
+		cancel()
 		if *statsJSON {
 			// A single solver reports as a one-stage chain so CLI and
 			// service emit the same shape regardless of -portfolio.
@@ -155,7 +184,7 @@ func main() {
 		}
 	}
 	if *statsJSON && jsonStats != nil {
-		data, err := json.Marshal(jsonStats)
+		data, err := json.Marshal(statsReport{Stats: jsonStats, Decomposition: decompInfo})
 		if err != nil {
 			fatal(err)
 		}
@@ -166,6 +195,11 @@ func main() {
 	fmt.Printf("feasible:  %v\n", res.Feasible)
 	fmt.Printf("truncated: %v\n", res.Truncated)
 	fmt.Printf("states:    %d\n", res.States)
+	if decompInfo != nil {
+		fmt.Printf("decomp:    eliminated %d of %d, residual %d in %d components / %d blocks (largest %d, cuts %d)\n",
+			decompInfo.Eliminated, decompInfo.OriginalVertices, decompInfo.ResidualVertices,
+			decompInfo.Components, decompInfo.Blocks, decompInfo.LargestBlock, decompInfo.CutVertices)
+	}
 	if stats != nil {
 		for _, out := range stats.Stages {
 			switch {
@@ -194,6 +228,28 @@ func main() {
 		os.Exit(exitInfeasible)
 	}
 	os.Exit(exitOK)
+}
+
+// statsReport is the -stats-json line: the portfolio stage report plus,
+// when -decompose ran outside a portfolio, the decomposition statistics.
+type statsReport struct {
+	*portfolio.Stats
+	Decomposition *decomp.Info `json:"decomposition,omitempty"`
+}
+
+// autoWorkers resolves the -decomp-workers value: an explicit positive
+// flag wins; otherwise stateless solvers get GOMAXPROCS-wide component
+// parallelism and everything else (the rl solvers reuse per-instance
+// scratch) stays sequential.
+func autoWorkers(inner solve.Solver, flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	switch inner.(type) {
+	case brute.Solver, scholz.Solver, liberty.Solver, anneal.Solver:
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
 }
 
 func parseOrder(s string) game.Order {

@@ -70,6 +70,121 @@ func ErdosRenyi(rng *rand.Rand, cfg Config) *pbqp.Graph {
 	return g
 }
 
+// LargeSparseConfig parameterizes the big-graph generator. It produces
+// the kind of instance the decomposition pipeline targets: up to 10⁵
+// vertices, locally dense but globally sparse, with a controllable
+// number of connected components and articulation points.
+type LargeSparseConfig struct {
+	N int // total number of vertices (split across components)
+	M int // number of colors
+	// Components is the number of connected components; zero means 1.
+	// Vertices are split into contiguous, near-equal ranges.
+	Components int
+	// ClusterSize is the target size of each dense cluster (a
+	// biconnected block candidate); zero means 12. Each component is a
+	// chain of clusters joined by single bridge edges, so every bridge
+	// endpoint is an articulation point.
+	ClusterSize int
+	// Chords is the number of extra random intra-cluster edges per
+	// cluster, on top of the circulant C(1,2) base (every cluster
+	// vertex connects to its two ring successors, min degree 4, so the
+	// clusters survive the R0/R1/R2 reductions). More chords shift the
+	// degree distribution upward.
+	Chords int
+	// PInf is the ratio of infinite cost entries; keep it small (or
+	// zero) on large instances if a feasible instance is required.
+	PInf float64
+	// MaxCost bounds finite random costs; zero means 10.
+	MaxCost float64
+}
+
+// LargeSparse generates a large sparse PBQP graph as chains of dense
+// circulant clusters joined by bridges. The same seed yields a
+// byte-identical instance (see TestLargeSparseDeterministic); the
+// layout guarantees cfg.Components connected components and, for
+// cluster counts ≥ 2, articulation points at every bridge endpoint.
+func LargeSparse(rng *rand.Rand, cfg LargeSparseConfig) *pbqp.Graph {
+	comps := cfg.Components
+	if comps <= 0 {
+		comps = 1
+	}
+	if comps > cfg.N {
+		comps = cfg.N
+	}
+	clusterSize := cfg.ClusterSize
+	if clusterSize <= 0 {
+		clusterSize = 12
+	}
+	maxCost := cfg.MaxCost
+	//pbqpvet:ignore floatcmp zero is the unset-config sentinel, assigned by the caller and never computed
+	if maxCost == 0 {
+		maxCost = 10
+	}
+	g := pbqp.New(cfg.N, cfg.M)
+	entry := func() cost.Cost {
+		if rng.Float64() < cfg.PInf {
+			return cost.Inf
+		}
+		return cost.Cost(rng.Float64() * maxCost)
+	}
+	for u := 0; u < cfg.N; u++ {
+		v := make(cost.Vector, cfg.M)
+		for i := range v {
+			v[i] = entry()
+		}
+		if v.AllInf() {
+			v[rng.Intn(cfg.M)] = cost.Cost(rng.Float64() * maxCost)
+		}
+		g.SetVertexCost(u, v)
+	}
+	edge := func(u, w int) {
+		if u == w || g.EdgeCost(u, w) != nil {
+			return
+		}
+		mat := cost.NewMatrix(cfg.M, cfg.M)
+		for i := range mat.Data {
+			mat.Data[i] = entry()
+		}
+		if mat.IsZero() {
+			mat.Set(rng.Intn(cfg.M), rng.Intn(cfg.M), cost.Cost(1+rng.Float64()*maxCost))
+		}
+		g.SetEdgeCost(u, w, mat)
+	}
+	for c := 0; c < comps; c++ {
+		// Contiguous vertex range [lo, hi) for this component.
+		lo := c * cfg.N / comps
+		hi := (c + 1) * cfg.N / comps
+		size := hi - lo
+		clusters := size / clusterSize
+		if clusters == 0 {
+			clusters = 1
+		}
+		prevEnd := -1
+		for k := 0; k < clusters; k++ {
+			cLo := lo + k*size/clusters
+			cHi := lo + (k+1)*size/clusters
+			n := cHi - cLo
+			// Circulant base: u — u+1 and u — u+2 around the ring.
+			for i := 0; i < n; i++ {
+				edge(cLo+i, cLo+(i+1)%n)
+				if n > 2 {
+					edge(cLo+i, cLo+(i+2)%n)
+				}
+			}
+			for ch := 0; ch < cfg.Chords && n > 3; ch++ {
+				edge(cLo+rng.Intn(n), cLo+rng.Intn(n))
+			}
+			if prevEnd >= 0 {
+				// Single bridge from the previous cluster: both
+				// endpoints become articulation points.
+				edge(prevEnd, cLo)
+			}
+			prevEnd = cHi - 1
+		}
+	}
+	return g
+}
+
 // NormalN samples a vertex count from a normal distribution with the
 // given mean and standard deviation, clamped to [min, ∞).
 func NormalN(rng *rand.Rand, mean, stddev float64, min int) int {

@@ -1,8 +1,11 @@
 package randgraph
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
+
+	"pbqprl/internal/pbqp"
 )
 
 func TestErdosRenyiShape(t *testing.T) {
@@ -127,5 +130,104 @@ func TestZeroInfHardRatio(t *testing.T) {
 	ratio := float64(hard) / 200
 	if ratio < 0.25 || ratio > 0.6 {
 		t.Errorf("hard ratio = %.2f, want near 0.4", ratio)
+	}
+}
+
+// largeSparseComponents counts connected components by BFS, independent
+// of the generator's layout bookkeeping.
+func largeSparseComponents(g *pbqp.Graph) int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	comps := 0
+	for r := 0; r < n; r++ {
+		if seen[r] {
+			continue
+		}
+		comps++
+		seen[r] = true
+		queue = append(queue[:0], r)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+func TestLargeSparseShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := LargeSparseConfig{N: 2000, M: 4, Components: 5, ClusterSize: 20, Chords: 6}
+	g := LargeSparse(rng, cfg)
+	if g.NumVertices() != 2000 || g.M() != 4 {
+		t.Fatalf("shape = (%d, %d)", g.NumVertices(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := largeSparseComponents(g); got != 5 {
+		t.Fatalf("components = %d, want 5", got)
+	}
+	// Circulant C(1,2) base: every vertex has degree ≥ 4 except where
+	// a cluster is tiny, so the graph is sparse but not reducible to
+	// nothing. Average degree stays well under 2·(4+2·Chords/Cluster).
+	minDeg, sumDeg := g.NumVertices(), 0
+	for u := 0; u < g.NumVertices(); u++ {
+		d := g.Degree(u)
+		sumDeg += d
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < 4 {
+		t.Errorf("min degree = %d, want ≥ 4 with full-size clusters", minDeg)
+	}
+	if avg := float64(sumDeg) / 2000; avg > 8 {
+		t.Errorf("average degree = %.1f, graph is not sparse", avg)
+	}
+}
+
+// TestLargeSparseDeterministic pins the satellite promise: the same
+// seed yields a byte-identical serialized instance.
+func TestLargeSparseDeterministic(t *testing.T) {
+	cfg := LargeSparseConfig{N: 500, M: 3, Components: 3, ClusterSize: 15, Chords: 4, PInf: 0.01}
+	write := func(seed int64) string {
+		g := LargeSparse(rand.New(rand.NewSource(seed)), cfg)
+		var buf bytes.Buffer
+		if err := pbqp.Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if write(11) != write(11) {
+		t.Error("same seed produced different bytes")
+	}
+	if write(11) == write(12) {
+		t.Error("different seeds produced identical bytes")
+	}
+}
+
+func TestLargeSparseDefaultsAndSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := LargeSparse(rng, LargeSparseConfig{N: 7, M: 2})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := largeSparseComponents(g); got != 1 {
+		t.Fatalf("components = %d, want 1", got)
+	}
+	// More components than vertices clamps to one vertex per component.
+	g = LargeSparse(rand.New(rand.NewSource(9)), LargeSparseConfig{N: 3, M: 2, Components: 10})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := largeSparseComponents(g); got != 3 {
+		t.Fatalf("components = %d, want 3 singletons", got)
 	}
 }

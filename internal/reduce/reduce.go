@@ -44,40 +44,99 @@ type record struct {
 
 // Apply exhaustively applies R0/R1/R2 to a copy of g and returns the
 // reduction. The input graph is not mutated.
+//
+// Elimination order is the (degree, id)-lexicographic minimum among
+// vertices of degree ≤ 2, recomputed after every reduction — the same
+// order a full min-degree scan per step would produce, but maintained
+// by a lazy worklist heap so reducing an n-vertex graph costs
+// O((n + pushes) log n) instead of O(n · eliminated). The equivalence
+// rests on degrees never increasing during reduction (R0 touches
+// nothing, R1 drops its neighbor by one, R2 drops y and z by one or
+// keeps them level), so a popped entry is stale exactly when its
+// recorded degree or liveness no longer matches and a fresh entry was
+// pushed at the moment of the change.
 func Apply(g *pbqp.Graph) *Reduction {
 	w := g.Clone()
 	red := &Reduction{Graph: w}
-	for {
-		u := lowestDegree(w)
-		if u < 0 || w.Degree(u) > 2 {
-			return red
+	var h worklist
+	for u := 0; u < w.NumVertices(); u++ {
+		if w.Alive(u) && w.Degree(u) <= 2 {
+			h.push(w.Degree(u), u)
+		}
+	}
+	for len(h) > 0 {
+		d, u := h.pop()
+		if !w.Alive(u) || w.Degree(u) != d {
+			continue // stale: the vertex was eliminated or re-pushed at a lower degree
 		}
 		red.Eliminated++
-		switch w.Degree(u) {
+		var affected []int
+		switch d {
 		case 0:
 			red.stack = append(red.stack, record{kind: r0, u: u, vec: w.VertexCost(u).Clone()})
 			w.RemoveVertex(u)
 		case 1:
-			red.stack = append(red.stack, reduceR1(w, u))
+			rec := reduceR1(w, u)
+			red.stack = append(red.stack, rec)
+			affected = rec.nbrs
 		default:
-			red.stack = append(red.stack, reduceR2(w, u))
+			rec := reduceR2(w, u)
+			red.stack = append(red.stack, rec)
+			affected = rec.nbrs
 		}
-	}
-}
-
-// lowestDegree returns the alive vertex with minimum degree, -1 when
-// the graph is empty.
-func lowestDegree(g *pbqp.Graph) int {
-	best, bestDeg := -1, 0
-	for _, u := range g.Vertices() {
-		if d := g.Degree(u); best == -1 || d < bestDeg {
-			best, bestDeg = u, d
-			if d == 0 {
-				return u
+		for _, v := range affected {
+			if w.Alive(v) && w.Degree(v) <= 2 {
+				h.push(w.Degree(v), v)
 			}
 		}
 	}
-	return best
+	return red
+}
+
+// worklist is a binary min-heap of (degree, vertex) pairs packed into
+// one int64 key each, so the lexicographic (degree, id) minimum is the
+// plain integer minimum. Entries are never updated in place: a vertex
+// whose degree drops is pushed again and the stale entry is skipped on
+// pop.
+type worklist []int64
+
+func (h *worklist) push(deg, u int) {
+	*h = append(*h, int64(deg)<<32|int64(u))
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *worklist) pop() (deg, u int) {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l] < s[min] {
+			min = l
+		}
+		if r < len(s) && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return int(top >> 32), int(top & 0xffffffff)
 }
 
 func reduceR1(g *pbqp.Graph, u int) record {

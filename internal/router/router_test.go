@@ -94,6 +94,41 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// TestRouterDecompChainPassThrough: the "decomp:" stage prefix rides
+// the chain knob through the router to a real backend, which solves
+// via the big-graph decomposition pipeline.
+func TestRouterDecompChainPassThrough(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2, DefaultChain: []string{"scholz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	r := newTestRouter(t, testConfig(ts.URL))
+	rec := post(r.Handler(), fig2, map[string]string{"X-PBQP-Chain": "decomp:brute"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var resp struct {
+		Stats struct {
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response: %v", err)
+	}
+	if len(resp.Stats.Stages) != 1 || resp.Stats.Stages[0].Name != "decomp(brute)" {
+		t.Fatalf("stages %+v, want one decomp(brute) stage", resp.Stats.Stages)
+	}
+}
+
 // TestRouterCacheHitPath pins the content-addressed cache: the second
 // identical request answers from memory without touching a backend.
 func TestRouterCacheHitPath(t *testing.T) {

@@ -34,8 +34,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
+	"pbqprl/internal/decomp"
 	"pbqprl/internal/game"
 	"pbqprl/internal/mcts"
 	"pbqprl/internal/pbqp"
@@ -72,7 +74,9 @@ type Config struct {
 	ReadLimits pbqp.ReadLimits
 	// DefaultChain is the solver fallback chain used when the request
 	// does not select one. Default: rl-bt → liberty → scholz, the
-	// same chain as pbqp-solve -portfolio.
+	// same chain as pbqp-solve -portfolio. A "decomp:" prefix on any
+	// stage name (e.g. "decomp:scholz") routes that stage through the
+	// big-graph decomposition pipeline.
 	DefaultChain []string
 	// MaxStates is the per-stage search budget. Default: 50,000,000.
 	MaxStates int64
@@ -270,8 +274,20 @@ func buildChain(cfg Config, names []string) ([]solve.Solver, error) {
 	return chain, nil
 }
 
-// makeSolver builds one solver by name, honoring the test override.
+// makeSolver builds one solver by name, honoring the test override. A
+// "decomp:" prefix wraps the named solver in the big-graph
+// decomposition pipeline (internal/decomp) — e.g. "decomp:scholz"
+// reduces, splits into biconnected blocks, solves each block with
+// scholz, and recombines. Components solve sequentially per request;
+// the server already runs requests in parallel across its worker pool.
 func makeSolver(cfg Config, name string) (solve.Solver, error) {
+	if inner, ok := strings.CutPrefix(name, "decomp:"); ok {
+		sv, err := makeSolver(cfg, inner)
+		if err != nil {
+			return nil, err
+		}
+		return decomp.Wrap(sv), nil
+	}
 	if cfg.MakeSolver != nil {
 		return cfg.MakeSolver(name)
 	}
@@ -294,6 +310,6 @@ func makeSolver(cfg Config, name string) (solve.Solver, error) {
 			MCTS:         mcts.Config{BatchLeaves: cfg.BatchLeaves},
 		}}, nil
 	default:
-		return nil, fmt.Errorf("unknown solver %q (want brute, scholz, liberty, anneal, rl, or rl-bt)", name)
+		return nil, fmt.Errorf("unknown solver %q (want brute, scholz, liberty, anneal, rl, or rl-bt, optionally prefixed decomp:)", name)
 	}
 }

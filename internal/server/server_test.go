@@ -94,6 +94,37 @@ func TestSolveHappyPath(t *testing.T) {
 	}
 }
 
+// TestSolveDecompChain exercises the "decomp:" stage prefix: the chain
+// routes through the big-graph decomposition pipeline and still finds
+// the fig2 optimum.
+func TestSolveDecompChain(t *testing.T) {
+	s := newTestServer(t, Config{DefaultChain: []string{"decomp:brute"}})
+	rec := post(s.Handler(), fig2, "deadline=5s", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	resp := decodeSolve(t, rec)
+	if !resp.Result.Feasible || resp.Result.Truncated {
+		t.Fatalf("result %+v", resp.Result)
+	}
+	if resp.Stats.Stages[0].Name != "decomp(brute)" {
+		t.Fatalf("stage name %q", resp.Stats.Stages[0].Name)
+	}
+	plain := decodeSolve(t, post(s.Handler(), fig2, "deadline=5s&chain=brute", nil))
+	if resp.Result.Cost != plain.Result.Cost {
+		t.Fatalf("decomp cost %v, plain brute %v", resp.Result.Cost, plain.Result.Cost)
+	}
+}
+
+// TestSolveDecompUnknownInner: the prefix must not mask bad inner names.
+func TestSolveDecompUnknownInner(t *testing.T) {
+	s := newTestServer(t, Config{DefaultChain: []string{"scholz"}})
+	rec := post(s.Handler(), fig2, "chain=decomp%3Azebra", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
 func TestSolveInfeasibleIs422(t *testing.T) {
 	s := newTestServer(t, Config{DefaultChain: []string{"scholz"}})
 	rec := post(s.Handler(), infeasiblePair, "", nil)

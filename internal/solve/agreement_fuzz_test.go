@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pbqprl/internal/cost"
+	"pbqprl/internal/decomp"
 	"pbqprl/internal/pbqp"
 	"pbqprl/internal/reduce"
 	"pbqprl/internal/solve/brute"
@@ -74,6 +75,9 @@ func graphFromBytes(data []byte) *pbqp.Graph {
 //     of 10 ATE failures), so agreement is one-sided: whenever scholz
 //     (with or without prior exact reduction) claims feasibility the
 //     oracle must concur and the claimed cost is ≥ the optimum;
+//   - the decomposition pipeline (reduce → block-cut split → per-block
+//     brute → recombine) is exact for an exact inner solver, so it must
+//     match brute on feasibility and cost bit-for-bit;
 //   - every reported selection must re-evaluate to the reported cost.
 func FuzzSolverAgreement(f *testing.F) {
 	f.Add([]byte{2, 1, 0, 1, 2, 3, 1, 0, 5})
@@ -122,6 +126,19 @@ func FuzzSolverAgreement(f *testing.F) {
 			// expansion must report the infeasibility.
 			if full, ok := red.Expand(redExact.Selection.Clone()); ok && !g.TotalCost(full).IsInf() {
 				t.Fatalf("reduce+brute produced a finite coloring of an infeasible graph\n%s", g)
+			}
+		}
+
+		dec := decomp.Wrap(brute.Solver{}).Solve(g)
+		if dec.Feasible != exact.Feasible {
+			t.Fatalf("decomp feasible=%v, brute feasible=%v\n%s", dec.Feasible, exact.Feasible, g)
+		}
+		if dec.Feasible {
+			if g.TotalCost(dec.Selection) != dec.Cost {
+				t.Fatalf("decomp selection does not re-evaluate to its cost\n%s", g)
+			}
+			if dec.Cost != exact.Cost {
+				t.Fatalf("decomp cost %v, optimum %v\n%s", dec.Cost, exact.Cost, g)
 			}
 		}
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pbqprl/internal/cost"
+	"pbqprl/internal/decomp"
 	"pbqprl/internal/game"
 	"pbqprl/internal/mcts"
 	"pbqprl/internal/net"
@@ -135,6 +136,22 @@ func Liberty(maxStates int64) Solver { return liberty.Solver{MaxStates: maxState
 // picks a size-proportional default.
 func Anneal(steps int, seed int64) Solver { return anneal.Solver{Steps: steps, Seed: seed} }
 
+// Big-graph decomposition pipeline (internal/decomp): exact R0/R1/R2
+// reduction, block-cut splitting of the residual, per-block solving
+// with a wrapped inner solver, and recombination.
+type (
+	// DecompSolver wraps any Solver into a decomposing big-graph
+	// solver; set Workers > 1 for parallel component solving with a
+	// concurrency-safe inner solver.
+	DecompSolver = decomp.Solver
+	// DecompInfo reports what a decomposition did to one instance.
+	DecompInfo = decomp.Info
+)
+
+// Decompose wraps inner in the big-graph decomposition pipeline with
+// sequential component solving. Exact for an exact inner solver.
+func Decompose(inner Solver) *DecompSolver { return decomp.Wrap(inner) }
+
 // Reduction is the result of the exact R0/R1/R2 preprocessing pass.
 type Reduction = reduce.Reduction
 
@@ -196,10 +213,12 @@ func NewTrainer(n *Net, cfg TrainerConfig) (*Trainer, error) { return selfplay.N
 // configuration; it is a convenience for tests and examples.
 func MustTrainer(n *Net, cfg TrainerConfig) *Trainer { return selfplay.New(n, cfg) }
 
-// Random problem generators (the paper's training distributions).
+// Random problem generators (the paper's training distributions, plus
+// the big-graph workload for the decomposition pipeline).
 type (
-	ErdosRenyiConfig = randgraph.Config
-	ZeroInfConfig    = randgraph.ZeroInfConfig
+	ErdosRenyiConfig  = randgraph.Config
+	ZeroInfConfig     = randgraph.ZeroInfConfig
+	LargeSparseConfig = randgraph.LargeSparseConfig
 )
 
 // ErdosRenyi generates a random PBQP graph (Section V-A).
@@ -211,4 +230,11 @@ func ErdosRenyi(rng *rand.Rand, cfg ErdosRenyiConfig) *Graph {
 // solution.
 func ZeroInf(rng *rand.Rand, cfg ZeroInfConfig) (*Graph, Selection) {
 	return randgraph.ZeroInf(rng, cfg)
+}
+
+// LargeSparse generates a large sparse PBQP graph as chains of dense
+// clusters joined by bridges — the workload the decomposition pipeline
+// targets.
+func LargeSparse(rng *rand.Rand, cfg LargeSparseConfig) *Graph {
+	return randgraph.LargeSparse(rng, cfg)
 }
